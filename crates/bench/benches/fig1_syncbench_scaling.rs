@@ -1,0 +1,34 @@
+//! Figure 1 kernel: syncbench reduction at increasing thread counts on
+//! simulated Dardel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ompvar_bench_epcc::syncbench::{self, SyncConstruct};
+use ompvar_bench_epcc::EpccConfig;
+use ompvar_harness::Platform;
+use ompvar_rt::runner::RegionRunner;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = EpccConfig::syncbench_default().fast(5);
+    let mut g = c.benchmark_group("fig1_syncbench_reduction");
+    for threads in [4usize, 32, 128, 254] {
+        let rt = Platform::Dardel.pinned_rt(threads);
+        let region = syncbench::region_with_inner(&cfg, SyncConstruct::Reduction, threads, 10);
+        g.throughput(Throughput::Elements(threads as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(rt.run_region(&region, seed).wall_us)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ompvar_bench::sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 2 kernel: BabelStream at increasing thread counts on simulated
+//! Dardel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompvar_bench_stream::kernels::StreamConfig;
+use ompvar_harness::Platform;
+use ompvar_rt::runner::RegionRunner;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = StreamConfig {
+        iterations: 10,
+        ..StreamConfig::default()
+    };
+    let mut g = c.benchmark_group("fig2_babelstream");
+    for threads in [2usize, 16, 128, 254] {
+        let rt = Platform::Dardel.pinned_rt(threads);
+        let region = ompvar_bench_stream::region(&cfg, threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(rt.run_region(&region, seed).wall_us)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ompvar_bench::sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

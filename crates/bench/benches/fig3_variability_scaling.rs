@@ -1,0 +1,28 @@
+//! Figure 3 kernel: the variability-envelope computation for one
+//! benchmark/platform cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompvar_harness::fig3::{envelope, Bench};
+use ompvar_harness::{ExpOptions, Platform};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let opts = ExpOptions::fast();
+    let mut g = c.benchmark_group("fig3_envelope");
+    g.sample_size(10);
+    for bench in [Bench::Sync, Bench::Stream] {
+        g.bench_with_input(
+            BenchmarkId::new("vera30", bench.label()),
+            &bench,
+            |b, &bench| b.iter(|| black_box(envelope(&opts, Platform::Vera, bench, 30).hi)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ompvar_bench::sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 6 kernel: schedbench on simulated Vera, one vs two NUMA
+//! domains, with the frequency logger running.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompvar_bench_epcc::{schedbench, EpccConfig};
+use ompvar_harness::Platform;
+use ompvar_rt::region::Schedule;
+use ompvar_rt::runner::RegionRunner;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = EpccConfig::schedbench_default().fast(5);
+    cfg.iters_per_thr = 256;
+    let region = schedbench::region(&cfg, Schedule::Static { chunk: 1 }, 16);
+    let mut g = c.benchmark_group("fig6_freq_schedbench16");
+    for (label, rt) in [
+        ("one_numa", Platform::Vera.numa_rt(&[0], 16)),
+        ("two_numas", Platform::Vera.numa_rt(&[0, 1], 8)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(rt.run_region(&region, seed).freq_samples.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ompvar_bench::sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 7 kernel: syncbench reduction on simulated Vera, one vs two
+//! NUMA domains, with the frequency logger running.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompvar_bench_epcc::syncbench::{self, SyncConstruct};
+use ompvar_bench_epcc::EpccConfig;
+use ompvar_harness::Platform;
+use ompvar_rt::runner::RegionRunner;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = EpccConfig::syncbench_default().fast(10);
+    let region = syncbench::region_with_inner(&cfg, SyncConstruct::Reduction, 16, 20);
+    let mut g = c.benchmark_group("fig7_freq_syncbench16");
+    for (label, rt) in [
+        ("one_numa", Platform::Vera.numa_rt(&[0], 16)),
+        ("two_numas", Platform::Vera.numa_rt(&[0, 1], 8)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(rt.run_region(&region, seed).wall_us)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ompvar_bench::sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

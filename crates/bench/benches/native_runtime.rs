@@ -1,0 +1,46 @@
+//! Native-runtime micro-benchmarks: the real-thread cost of this crate's
+//! own synchronization primitives on the host machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompvar_rt::native::barrier::SenseBarrier;
+use ompvar_rt::native::delay;
+use ompvar_rt::native::workshare::{LoopCursor, NativeLoop};
+use ompvar_rt::region::Schedule;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Single-thread barrier round (the uncontended fast path).
+    c.bench_function("native/barrier_single_thread", |b| {
+        let bar = SenseBarrier::new(1);
+        let mut sense = false;
+        b.iter(|| bar.wait(black_box(&mut sense)))
+    });
+
+    // Calibrated delay accuracy envelope.
+    c.bench_function("native/delay_1us", |b| b.iter(|| delay::delay(1.0)));
+
+    // Chunk dispatch of each schedule (single-thread drain of 1024 iters).
+    let mut g = c.benchmark_group("native/loop_dispatch_1024");
+    for (label, sched) in [
+        ("static1", Schedule::Static { chunk: 1 }),
+        ("dynamic1", Schedule::Dynamic { chunk: 1 }),
+        ("guided1", Schedule::Guided { min_chunk: 1 }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sched, |b, &sched| {
+            b.iter(|| {
+                let lp = NativeLoop::new(sched, 1024, 1);
+                let mut cur = LoopCursor::default();
+                let mut total = 0u64;
+                while let Some((_, len)) = lp.grab(0, &mut cur) {
+                    total += len;
+                }
+                lp.observe_exhausted(&mut cur);
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

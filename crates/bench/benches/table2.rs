@@ -1,0 +1,43 @@
+//! Table 2 kernel: schedbench dynamic_1 on simulated Dardel/Vera.
+//! One sample = one full simulated run (reduced iteration count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompvar_bench_epcc::{schedbench, EpccConfig};
+use ompvar_harness::Platform;
+use ompvar_rt::region::Schedule;
+use ompvar_rt::runner::RegionRunner;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = EpccConfig::schedbench_default().fast(5);
+    cfg.iters_per_thr = 512;
+    let mut g = c.benchmark_group("table2_schedbench_dynamic1");
+    for (platform, threads) in [
+        (Platform::Dardel, 4usize),
+        (Platform::Dardel, 254),
+        (Platform::Vera, 4),
+        (Platform::Vera, 30),
+    ] {
+        let rt = platform.pinned_rt(threads);
+        let region = schedbench::region(&cfg, Schedule::Dynamic { chunk: 1 }, threads);
+        g.bench_with_input(
+            BenchmarkId::new(platform.label(), threads),
+            &threads,
+            |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(rt.run_region(&region, seed).wall_us)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ompvar_bench::sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Taskbench extension kernel: explicit-task spawn/drain on simulated
+//! Dardel under both spawn patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompvar_bench_epcc::taskbench::{self, TaskPattern};
+use ompvar_bench_epcc::EpccConfig;
+use ompvar_harness::Platform;
+use ompvar_rt::runner::RegionRunner;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = EpccConfig::syncbench_default().fast(5);
+    let mut g = c.benchmark_group("taskbench");
+    for pattern in TaskPattern::ALL {
+        for threads in [8usize, 64] {
+            let rt = Platform::Dardel.pinned_rt(threads);
+            let region = taskbench::region(&cfg, pattern, threads, 64);
+            g.bench_with_input(
+                BenchmarkId::new(pattern.label(), threads),
+                &threads,
+                |b, _| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(rt.run_region(&region, seed).wall_us)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ompvar_bench::sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! # ompvar-bench — Criterion benchmark harness
+//!
+//! One bench target per paper table/figure, each timing the experiment's
+//! core simulated kernel at reduced scale (so `cargo bench` completes in
+//! minutes), plus a native-runtime micro-benchmark. The full-scale
+//! regeneration of the paper's artifacts lives in the `ompvar-repro` CLI
+//! (`crates/harness`); these benches track the *cost* of the experiments
+//! and guard the simulator against performance regressions.
+
+use criterion::Criterion;
+
+/// Criterion configured for simulation benches: few samples (each sample
+/// is a whole simulated run), modest measurement time.
+pub fn sim_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}

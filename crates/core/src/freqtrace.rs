@@ -1,0 +1,137 @@
+//! Frequency-trace analysis: turning the logger's per-core samples into
+//! the quantities behind the paper's Figures 6 and 7 (frequency bands,
+//! transition counts, residency).
+
+/// A frequency trace: sample times (ns) and, per sample, the frequency of
+/// every core in GHz. Mirrors the simulator's logger output without
+/// depending on it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FreqTrace {
+    /// Sample timestamps, nanoseconds, ascending.
+    pub times_ns: Vec<u64>,
+    /// `core_ghz[i][c]` = frequency of core `c` at sample `i`.
+    pub core_ghz: Vec<Vec<f32>>,
+}
+
+impl FreqTrace {
+    /// Build from `(time, freqs)` pairs.
+    pub fn new(samples: Vec<(u64, Vec<f32>)>) -> FreqTrace {
+        let mut t = FreqTrace::default();
+        for (time, f) in samples {
+            if let Some(prev) = t.times_ns.last() {
+                assert!(time >= *prev, "samples must be time-ordered");
+            }
+            if let Some(first) = t.core_ghz.first() {
+                assert_eq!(first.len(), f.len(), "inconsistent core count");
+            }
+            t.times_ns.push(time);
+            t.core_ghz.push(f);
+        }
+        t
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times_ns.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times_ns.is_empty()
+    }
+
+    /// Number of cores covered.
+    pub fn n_cores(&self) -> usize {
+        self.core_ghz.first().map_or(0, |f| f.len())
+    }
+
+    /// Time series of one core.
+    pub fn core_series(&self, core: usize) -> Vec<f32> {
+        self.core_ghz.iter().map(|s| s[core]).collect()
+    }
+
+    /// Count of observed frequency changes of `core` larger than
+    /// `threshold_ghz` between consecutive samples.
+    pub fn transitions(&self, core: usize, threshold_ghz: f32) -> usize {
+        let s = self.core_series(core);
+        s.windows(2)
+            .filter(|w| (w[1] - w[0]).abs() > threshold_ghz)
+            .count()
+    }
+
+    /// Total transitions across a set of cores.
+    pub fn transitions_over(&self, cores: &[usize], threshold_ghz: f32) -> usize {
+        cores
+            .iter()
+            .map(|&c| self.transitions(c, threshold_ghz))
+            .sum()
+    }
+
+    /// Fraction of samples where `core` ran below `ghz`.
+    pub fn residency_below(&self, core: usize, ghz: f32) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let s = self.core_series(core);
+        s.iter().filter(|&&f| f < ghz).count() as f64 / s.len() as f64
+    }
+
+    /// Min and max frequency observed on `core`.
+    pub fn band(&self, core: usize) -> (f32, f32) {
+        let s = self.core_series(core);
+        let lo = s.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = s.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> FreqTrace {
+        FreqTrace::new(vec![
+            (0, vec![3.5, 2.0]),
+            (100, vec![3.5, 2.0]),
+            (200, vec![3.0, 2.0]),
+            (300, vec![3.5, 2.0]),
+            (400, vec![3.5, 2.0]),
+        ])
+    }
+
+    #[test]
+    fn transitions_counted_per_core() {
+        let t = trace();
+        assert_eq!(t.transitions(0, 0.1), 2); // down then up
+        assert_eq!(t.transitions(1, 0.1), 0);
+        assert_eq!(t.transitions_over(&[0, 1], 0.1), 2);
+    }
+
+    #[test]
+    fn residency_and_band() {
+        let t = trace();
+        assert!((t.residency_below(0, 3.2) - 0.2).abs() < 1e-9);
+        assert_eq!(t.band(0), (3.0, 3.5));
+        assert_eq!(t.band(1), (2.0, 2.0));
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let t = FreqTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.n_cores(), 0);
+        assert_eq!(t.residency_below(0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_samples_rejected() {
+        FreqTrace::new(vec![(100, vec![1.0]), (50, vec![1.0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent core count")]
+    fn ragged_samples_rejected() {
+        FreqTrace::new(vec![(0, vec![1.0]), (1, vec![1.0, 2.0])]);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # ompvar-core — variability characterization
+//!
+//! The methodological core of the study: the nested run protocol
+//! (run-to-run × intra-run repetitions), the statistics the paper reports
+//! (mean, CV, normalized min/max, outlier runs, variance decomposition),
+//! frequency-trace analysis, and paper-style table/CSV reporting.
+//!
+//! This crate is dependency-free and backend-agnostic: it consumes plain
+//! `f64` samples produced by either runtime backend.
+
+pub mod freqtrace;
+pub mod protocol;
+pub mod report;
+pub mod stats;
+pub mod variability;
+
+pub use freqtrace::FreqTrace;
+pub use report::{fmt_ratio, fmt_us, render_histogram, sparkline, Table};
+pub use stats::{
+    autocorrelation, bimodality_coefficient, bootstrap_ci_mean, ks_test, mad, mad_outliers,
+    percentile, welch_t, Histogram, Summary,
+};
+pub use protocol::{Characterization, RunPlan};
+pub use variability::{RunSample, RunSet};

@@ -1,0 +1,124 @@
+//! The generic run protocol: a backend-agnostic formalization of the
+//! paper's measurement methodology (R independent runs × K repetitions,
+//! seeded deterministically), à la Varbench's experiment harness.
+
+use crate::variability::RunSet;
+
+/// A measurement plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPlan {
+    /// Independent runs (the paper uses 10).
+    pub n_runs: usize,
+    /// Base seed; run `i` receives `seed_base + i`.
+    pub seed_base: u64,
+}
+
+impl RunPlan {
+    /// The paper's protocol: 10 runs.
+    pub fn paper(seed_base: u64) -> RunPlan {
+        RunPlan {
+            n_runs: 10,
+            seed_base,
+        }
+    }
+
+    /// Seed of run `i`.
+    pub fn seed_of(&self, run: usize) -> u64 {
+        assert!(run < self.n_runs);
+        self.seed_base + run as u64
+    }
+
+    /// Execute the plan: `measure(seed)` must return the per-repetition
+    /// times (µs) of one run.
+    pub fn execute<F>(&self, mut measure: F) -> RunSet
+    where
+        F: FnMut(u64) -> Vec<f64>,
+    {
+        assert!(self.n_runs > 0, "a plan needs at least one run");
+        RunSet::new(
+            (0..self.n_runs)
+                .map(|i| {
+                    let reps = measure(self.seed_of(i));
+                    assert!(!reps.is_empty(), "run {i} produced no repetitions");
+                    reps
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A compact characterization of one configuration's variability,
+/// bundling the quantities the paper reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// Mean over all repetitions of all runs, µs.
+    pub mean_us: f64,
+    /// Pooled coefficient of variation.
+    pub pooled_cv: f64,
+    /// Max/min of the run means (run-to-run stability).
+    pub run_spread: f64,
+    /// Per-run normalized minima (one entry per run).
+    pub norm_mins: Vec<f64>,
+    /// Per-run normalized maxima (one entry per run).
+    pub norm_maxs: Vec<f64>,
+    /// Between-run fraction of the total variance.
+    pub between_run_fraction: f64,
+    /// Indices of MAD-outlier runs (z > 3.5).
+    pub outlier_runs: Vec<usize>,
+}
+
+impl Characterization {
+    /// Characterize a run set.
+    pub fn of(rs: &RunSet) -> Characterization {
+        let pooled = rs.pooled();
+        Characterization {
+            mean_us: pooled.mean,
+            pooled_cv: pooled.cv,
+            run_spread: rs.run_spread(),
+            norm_mins: rs.run_norm_mins(),
+            norm_maxs: rs.run_norm_maxs(),
+            between_run_fraction: rs.variance_decomposition().0,
+            outlier_runs: rs.outlier_runs(3.5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_executes_with_distinct_seeds() {
+        let plan = RunPlan::paper(100);
+        let mut seeds = Vec::new();
+        let rs = plan.execute(|seed| {
+            seeds.push(seed);
+            vec![seed as f64, seed as f64 + 1.0]
+        });
+        assert_eq!(rs.n_runs(), 10);
+        assert_eq!(seeds, (100..110).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "no repetitions")]
+    fn empty_run_rejected() {
+        RunPlan { n_runs: 1, seed_base: 0 }.execute(|_| vec![]);
+    }
+
+    #[test]
+    fn characterization_bundles_metrics() {
+        let rs = RunSet::new(vec![vec![10.0, 11.0], vec![10.0, 10.5], vec![30.0, 31.0]]);
+        let c = Characterization::of(&rs);
+        assert!(c.mean_us > 10.0);
+        assert!(c.run_spread > 2.5);
+        assert_eq!(c.outlier_runs, vec![2]);
+        assert!(c.between_run_fraction > 0.9);
+        assert_eq!(c.norm_mins.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn seed_of_out_of_range() {
+        RunPlan::paper(0).seed_of(10);
+    }
+}

@@ -1,0 +1,191 @@
+//! The run protocol and variability characterization.
+//!
+//! The paper's methodology: run every configuration `R` times (run-to-run
+//! variability), with each run internally repeating the measured kernel
+//! `K` times (intra-run variability, the EPCC "outer repetitions"). This
+//! module holds the nested sample type and the derived variability
+//! metrics: per-run summaries, run-to-run metrics over run means,
+//! normalized min/max series, and a between/within variance decomposition.
+
+use crate::stats::{mad_outliers, Summary};
+
+/// One run: the per-repetition times (µs) of the measured kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSample {
+    /// Per-repetition execution times, µs, in execution order.
+    pub reps_us: Vec<f64>,
+}
+
+impl RunSample {
+    /// Summary over this run's repetitions.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.reps_us)
+    }
+}
+
+/// All runs of one experiment configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSet {
+    /// Runs in execution order.
+    pub runs: Vec<RunSample>,
+}
+
+impl RunSet {
+    /// Build from a nested vector.
+    pub fn new(runs: Vec<Vec<f64>>) -> RunSet {
+        RunSet {
+            runs: runs.into_iter().map(|reps_us| RunSample { reps_us }).collect(),
+        }
+    }
+
+    /// Number of runs.
+    pub fn n_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Mean execution time of each run (the paper's per-run "Avg." bars).
+    pub fn run_means(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.summary().mean).collect()
+    }
+
+    /// CV of each run's repetitions (the paper's Figure 5 syncbench
+    /// metric: intra-run stability, lower is better).
+    pub fn run_cvs(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.summary().cv).collect()
+    }
+
+    /// Per-run minimum normalized to the run mean (Figure 3/5 series).
+    pub fn run_norm_mins(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.summary().norm_min()).collect()
+    }
+
+    /// Per-run maximum normalized to the run mean (Figure 3/5 series).
+    pub fn run_norm_maxs(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.summary().norm_max()).collect()
+    }
+
+    /// Summary over the run means: run-to-run variability.
+    pub fn across_runs(&self) -> Summary {
+        Summary::of(&self.run_means())
+    }
+
+    /// Summary over *all* repetitions pooled.
+    pub fn pooled(&self) -> Summary {
+        let all: Vec<f64> = self
+            .runs
+            .iter()
+            .flat_map(|r| r.reps_us.iter().copied())
+            .collect();
+        Summary::of(&all)
+    }
+
+    /// Indices of runs whose mean is a MAD-outlier vs. the other runs —
+    /// the "run #9 took 168 ms instead of 154 ms" detector for Table 2.
+    pub fn outlier_runs(&self, z: f64) -> Vec<usize> {
+        mad_outliers(&self.run_means(), z)
+    }
+
+    /// One-way variance decomposition of the pooled repetitions into a
+    /// between-run and a within-run component. Returns
+    /// `(between_fraction, within_fraction)`, each in `[0, 1]`, summing
+    /// to 1 (for nonzero total variance).
+    pub fn variance_decomposition(&self) -> (f64, f64) {
+        let k = self.n_runs();
+        if k < 2 {
+            return (0.0, 1.0);
+        }
+        let grand = self.pooled().mean;
+        let mut ss_between = 0.0;
+        let mut ss_within = 0.0;
+        for r in &self.runs {
+            let s = r.summary();
+            ss_between += r.reps_us.len() as f64 * (s.mean - grand).powi(2);
+            ss_within += r
+                .reps_us
+                .iter()
+                .map(|x| (x - s.mean).powi(2))
+                .sum::<f64>();
+        }
+        let total = ss_between + ss_within;
+        if total == 0.0 {
+            (0.0, 1.0)
+        } else {
+            (ss_between / total, ss_within / total)
+        }
+    }
+
+    /// The paper's headline stability metric after an intervention (e.g.
+    /// pinning): the max/min spread of run means.
+    pub fn run_spread(&self) -> f64 {
+        self.across_runs().spread()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(base: f64, jitter: f64, outlier: Option<usize>) -> RunSet {
+        let runs: Vec<Vec<f64>> = (0..10)
+            .map(|r| {
+                let shift = if Some(r) == outlier { base * 0.5 } else { 0.0 };
+                (0..20)
+                    .map(|i| base + shift + jitter * ((i * 7 + r * 3) % 5) as f64)
+                    .collect()
+            })
+            .collect();
+        RunSet::new(runs)
+    }
+
+    #[test]
+    fn run_means_and_cvs_have_one_entry_per_run() {
+        let rs = synthetic(100.0, 1.0, None);
+        assert_eq!(rs.run_means().len(), 10);
+        assert_eq!(rs.run_cvs().len(), 10);
+        assert!(rs.run_cvs().iter().all(|&cv| cv < 0.05));
+    }
+
+    #[test]
+    fn outlier_run_detected() {
+        let rs = synthetic(100.0, 0.5, Some(9));
+        let out = rs.outlier_runs(3.5);
+        assert_eq!(out, vec![9]);
+        assert!(synthetic(100.0, 0.5, None).outlier_runs(3.5).is_empty());
+    }
+
+    #[test]
+    fn variance_decomposition_sums_to_one() {
+        let rs = synthetic(100.0, 1.0, Some(3));
+        let (b, w) = rs.variance_decomposition();
+        assert!((b + w - 1.0).abs() < 1e-9);
+        assert!(b > 0.5, "outlier run should dominate between-run variance");
+        // Identical runs → all within.
+        let flat = RunSet::new(vec![vec![1.0, 2.0, 3.0]; 5]);
+        let (b, w) = flat.variance_decomposition();
+        assert!(b < 1e-9);
+        assert!((w - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_series_bracket_one() {
+        let rs = synthetic(50.0, 2.0, None);
+        for (&lo, &hi) in rs.run_norm_mins().iter().zip(rs.run_norm_maxs().iter()) {
+            assert!(lo <= 1.0 + 1e-12);
+            assert!(hi >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn spread_reflects_outliers() {
+        let quiet = synthetic(100.0, 0.1, None).run_spread();
+        let noisy = synthetic(100.0, 0.1, Some(2)).run_spread();
+        assert!(noisy > quiet * 1.2);
+    }
+
+    #[test]
+    fn degenerate_single_run() {
+        let rs = RunSet::new(vec![vec![5.0, 6.0]]);
+        assert_eq!(rs.variance_decomposition(), (0.0, 1.0));
+        assert_eq!(rs.n_runs(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! EPCC benchmark parameters (the paper's Table 1).
+
+/// Parameters of one EPCC micro-benchmark run, matching the upstream
+/// drivers' command-line options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpccConfig {
+    /// Outer repetitions: how many timed repetitions of the measured
+    /// kernel one run performs (`--outer-repetitions`).
+    pub outer_reps: u32,
+    /// Duration of one `delay()` call, µs of nominal CPU time
+    /// (`--delay-time`).
+    pub delay_us: f64,
+    /// Target duration of one timed repetition, µs (`--test-time`); used
+    /// to calibrate the inner repetition count.
+    pub test_time_us: f64,
+    /// schedbench only: loop iterations per thread (`itersperthr`).
+    pub iters_per_thr: u64,
+}
+
+impl EpccConfig {
+    /// Table 1, `schedbench` column: 100 outer reps, 15 µs delay,
+    /// 1000 µs test time, 8192 iterations per thread.
+    pub fn schedbench_default() -> Self {
+        EpccConfig {
+            outer_reps: 100,
+            delay_us: 15.0,
+            test_time_us: 1000.0,
+            iters_per_thr: 8192,
+        }
+    }
+
+    /// Table 1, `syncbench` column: 100 outer reps, 0.1 µs delay,
+    /// 1000 µs test time.
+    pub fn syncbench_default() -> Self {
+        EpccConfig {
+            outer_reps: 100,
+            delay_us: 0.1,
+            test_time_us: 1000.0,
+            iters_per_thr: 0,
+        }
+    }
+
+    /// A reduced-cost variant for tests and quick runs: same delays and
+    /// test time, fewer outer repetitions.
+    pub fn fast(mut self, outer_reps: u32) -> Self {
+        self.outer_reps = outer_reps;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// These assertions *are* the reproduction of Table 1.
+    #[test]
+    fn table1_schedbench_parameters() {
+        let p = EpccConfig::schedbench_default();
+        assert_eq!(p.outer_reps, 100);
+        assert_eq!(p.delay_us, 15.0);
+        assert_eq!(p.test_time_us, 1000.0);
+        assert_eq!(p.iters_per_thr, 8192);
+    }
+
+    /// These assertions *are* the reproduction of Table 1.
+    #[test]
+    fn table1_syncbench_parameters() {
+        let p = EpccConfig::syncbench_default();
+        assert_eq!(p.outer_reps, 100);
+        assert_eq!(p.delay_us, 0.1);
+        assert_eq!(p.test_time_us, 1000.0);
+    }
+
+    #[test]
+    fn fast_reduces_only_reps() {
+        let p = EpccConfig::schedbench_default().fast(5);
+        assert_eq!(p.outer_reps, 5);
+        assert_eq!(p.delay_us, 15.0);
+    }
+}

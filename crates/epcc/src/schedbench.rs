@@ -1,0 +1,131 @@
+//! Port of the EPCC `schedbench` micro-benchmark.
+//!
+//! `schedbench` measures loop-scheduling overheads: each timed repetition
+//! executes a work-shared loop of `iters_per_thr × n_threads` iterations
+//! of `delay(delay_us)` under a chosen schedule. The overhead is the
+//! difference to a perfectly scheduled loop (`iters_per_thr` iterations
+//! per thread with zero dispatch cost).
+
+use crate::params::EpccConfig;
+use ompvar_rt::region::{Construct, RegionSpec, Schedule};
+
+/// Build the schedbench region for one schedule and team size.
+pub fn region(cfg: &EpccConfig, schedule: Schedule, n_threads: usize) -> RegionSpec {
+    assert!(cfg.iters_per_thr > 0, "schedbench needs iters_per_thr");
+    let total_iters = cfg.iters_per_thr * n_threads as u64;
+    RegionSpec::measured(
+        n_threads,
+        cfg.outer_reps,
+        1,
+        vec![Construct::ParallelFor {
+            schedule,
+            total_iters,
+            body_us: cfg.delay_us,
+            ordered_us: None,
+            nowait: false,
+        }],
+    )
+}
+
+/// The ideal (overhead-free) time of one repetition, µs: each thread runs
+/// `iters_per_thr` delay calls in parallel.
+pub fn ideal_rep_us(cfg: &EpccConfig) -> f64 {
+    cfg.iters_per_thr as f64 * cfg.delay_us
+}
+
+/// Per-iteration scheduling overhead implied by a measured repetition
+/// time, µs (can be negative if the machine beat nominal frequency).
+pub fn per_iter_overhead_us(cfg: &EpccConfig, rep_us: f64) -> f64 {
+    (rep_us - ideal_rep_us(cfg)) / cfg.iters_per_thr as f64
+}
+
+/// The schedules evaluated in the paper (chunk size 1).
+pub fn paper_schedules() -> Vec<Schedule> {
+    vec![
+        Schedule::Static { chunk: 1 },
+        Schedule::Dynamic { chunk: 1 },
+        Schedule::Guided { min_chunk: 1 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompvar_rt::config::RtConfig;
+    use ompvar_rt::runner::RegionRunner;
+    use ompvar_rt::simrt::SimRuntime;
+    use ompvar_sim::params::SimParams;
+    use ompvar_topology::{MachineSpec, Places};
+
+    fn small_cfg() -> EpccConfig {
+        EpccConfig {
+            outer_reps: 3,
+            delay_us: 15.0,
+            test_time_us: 1000.0,
+            iters_per_thr: 64,
+        }
+    }
+
+    #[test]
+    fn region_has_one_loop_per_rep() {
+        let r = region(&EpccConfig::schedbench_default(), Schedule::Dynamic { chunk: 1 }, 4);
+        assert_eq!(r.n_threads, 4);
+        // constructs[0] is the unmeasured warm-up block; the measured
+        // block carries the 100 outer repetitions.
+        let Construct::Repeat { count, .. } = &r.constructs[1] else {
+            panic!()
+        };
+        assert_eq!(*count, 100);
+    }
+
+    #[test]
+    fn ideal_time_matches_table2_scale() {
+        // 8192 × 15 µs = 122.88 ms — the baseline under Table 2's values.
+        let cfg = EpccConfig::schedbench_default();
+        assert!((ideal_rep_us(&cfg) - 122_880.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulated_rep_time_close_to_ideal_when_sterile() {
+        let cfg = small_cfg();
+        let rt = SimRuntime::new(
+            MachineSpec::vera(),
+            RtConfig::pinned_close(Places::Threads(Some(4))),
+        )
+        .with_params(SimParams::sterile());
+        let r = region(&cfg, Schedule::Static { chunk: 1 }, 4);
+        let res = rt.run_region(&r, 1);
+        // 4 active cores on Vera boost to 3.5 of 3.7 GHz → delays run
+        // ~5.7% slow vs. nominal; dispatch adds a little more.
+        let rep = res.reps()[1];
+        let ideal = ideal_rep_us(&cfg);
+        assert!(rep > ideal, "rep {rep} vs ideal {ideal}");
+        assert!(rep < ideal * 1.15, "rep {rep} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn dynamic_overhead_grows_with_threads() {
+        let cfg = small_cfg();
+        let per_iter = |n: usize| {
+            let rt = SimRuntime::new(
+                MachineSpec::vera(),
+                RtConfig::pinned_close(Places::Threads(Some(n))),
+            )
+            .with_params(SimParams::sterile());
+            let res = rt.run_region(&region(&cfg, Schedule::Dynamic { chunk: 1 }, n), 1);
+            per_iter_overhead_us(&cfg, res.reps()[1])
+        };
+        let two = per_iter(2);
+        let thirty = per_iter(30);
+        assert!(
+            thirty > two,
+            "dispatch overhead should grow with contention: {two} vs {thirty}"
+        );
+    }
+
+    #[test]
+    fn paper_schedules_have_chunk_one() {
+        let labels: Vec<String> = paper_schedules().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["static_1", "dynamic_1", "guided_1"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! `ompvar-repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! ompvar-repro [--fast] [--seed N] [--out DIR] <table2|fig1|...|fig7|all>
+//! ```
+//!
+//! Each experiment prints its paper-style table(s), runs the shape checks
+//! against the paper's qualitative findings, and writes CSVs under the
+//! output directory (default `results/`).
+
+use ompvar_harness::{
+    ablation, chunks, fig1, fig2, fig3, fig4, fig5, fig67, table2, taskbench_exp, ExpOptions,
+    ExpReport,
+};
+use std::process::ExitCode;
+
+const EXPERIMENTS: [&str; 11] = [
+    "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "taskbench",
+    "chunks",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ompvar-repro [--fast] [--seed N] [--out DIR] <{}|all>",
+        EXPERIMENTS.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn run_one(name: &str, opts: &ExpOptions) -> ExpReport {
+    match name {
+        "table2" => table2::run(opts),
+        "fig1" => fig1::run(opts),
+        "fig2" => fig2::run(opts),
+        "fig3" => fig3::run(opts),
+        "fig4" => fig4::run(opts),
+        "fig5" => fig5::run(opts),
+        "fig6" => fig67::run_fig6(opts),
+        "fig7" => fig67::run_fig7(opts),
+        "ablation" => ablation::run(opts),
+        "taskbench" => taskbench_exp::run(opts),
+        "chunks" => chunks::run(opts),
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut opts = ExpOptions::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fast" => opts.fast = true,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.out_dir = v.into();
+            }
+            "-h" | "--help" => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    let names: Vec<&str> = if targets.iter().any(|t| t == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        targets.iter().map(|s| s.as_str()).collect()
+    };
+    let mut all_ok = true;
+    for name in names {
+        let t0 = std::time::Instant::now();
+        let report = run_one(name, &opts);
+        print!("{}", report.render());
+        match report.write_csvs(&opts.out_dir) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not write CSVs: {e}"),
+        }
+        println!("({name} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+        all_ok &= report.all_passed();
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("some shape checks FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,306 @@
+//! Shared experiment scaffolding: platforms, runtime construction, and
+//! the experiment report type.
+
+use ompvar_rt::config::RtConfig;
+use ompvar_rt::simrt::{FreqLoggerCfg, SimRuntime};
+
+use ompvar_core::Table;
+use ompvar_topology::{MachineSpec, NumaId, Places, ProcBind};
+use std::path::PathBuf;
+
+/// The two platforms of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// HPE Cray EX, 2× AMD EPYC Zen2, 128 cores / 256 HW threads.
+    Dardel,
+    /// 2× Intel Xeon Gold 6130, 32 cores, no SMT.
+    Vera,
+}
+
+impl Platform {
+    /// Machine model.
+    pub fn machine(&self) -> MachineSpec {
+        match self {
+            Platform::Dardel => MachineSpec::dardel(),
+            Platform::Vera => MachineSpec::vera(),
+        }
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Platform::Dardel => "Dardel",
+            Platform::Vera => "Vera",
+        }
+    }
+
+    /// Thread counts used in the scalability figures. The top count
+    /// spares two hardware threads for the OS (254 of 256 on Dardel, 30
+    /// of 32 on Vera), as in the paper.
+    pub fn scaling_threads(&self) -> Vec<usize> {
+        match self {
+            Platform::Dardel => vec![4, 8, 16, 32, 64, 128, 254],
+            Platform::Vera => vec![2, 4, 8, 16, 30],
+        }
+    }
+
+    /// Place list for `n` threads in the ST style: one thread per
+    /// physical core, SMT siblings left idle. For counts above the core
+    /// count (Dardel's 254), falls back to SMT-packed placement.
+    pub fn st_places(&self, n: usize) -> Places {
+        let m = self.machine();
+        if n <= m.n_cores() {
+            Places::one_per_core(&m, n)
+        } else {
+            assert!(n <= m.n_hw_threads(), "{n} exceeds {}", m.n_hw_threads());
+            Places::smt_packed(&m, n.div_ceil(m.smt))
+        }
+    }
+
+    /// Place list for `n` threads in the MT style: both hardware threads
+    /// of each core used before moving to the next core.
+    pub fn mt_places(&self, n: usize) -> Places {
+        let m = self.machine();
+        assert!(m.smt > 1, "{} has no SMT", self.label());
+        assert!(n <= m.n_hw_threads());
+        Places::smt_packed(&m, n.div_ceil(m.smt))
+    }
+
+    /// Pinned (close) simulated runtime for `n` ST threads.
+    pub fn pinned_rt(&self, n: usize) -> SimRuntime {
+        SimRuntime::new(
+            self.machine(),
+            RtConfig {
+                places: self.st_places(n),
+                bind: ProcBind::Close,
+            },
+        )
+    }
+
+    /// Pinned runtime in the MT configuration.
+    pub fn pinned_mt_rt(&self, n: usize) -> SimRuntime {
+        SimRuntime::new(
+            self.machine(),
+            RtConfig {
+                places: self.mt_places(n),
+                bind: ProcBind::Close,
+            },
+        )
+    }
+
+    /// Unbound runtime (`OMP_PROC_BIND=false`).
+    pub fn unbound_rt(&self) -> SimRuntime {
+        SimRuntime::new(self.machine(), RtConfig::unbound())
+    }
+
+    /// Pinned runtime over the cores of specific NUMA domains (the Vera
+    /// Figure 6/7 placements), with the frequency logger on a spare core
+    /// as in the paper.
+    pub fn numa_rt(&self, numas: &[usize], per_numa: usize) -> SimRuntime {
+        let m = self.machine();
+        let numas: Vec<NumaId> = numas.iter().map(|&d| NumaId(d)).collect();
+        let places = Places::cores_of_numas(&m, &numas, per_numa);
+        // Spare core for the logger: last core of the last socket. The
+        // paper's Python logger polled sysfs continuously; sample fast
+        // enough (2 ms) to resolve individual turbo droop pulses.
+        let logger_cpu = m.n_cores() - 1;
+        SimRuntime::new(
+            m,
+            RtConfig {
+                places,
+                bind: ProcBind::Close,
+            },
+        )
+        .with_freq_logger(FreqLoggerCfg {
+            cpu: Some(logger_cpu),
+            period: 2 * ompvar_sim::time::MS,
+            cost: 20 * ompvar_sim::time::US,
+        })
+    }
+}
+
+/// Options common to all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Reduced repetition counts for quick runs and tests.
+    pub fast: bool,
+    /// Base seed; run `i` of an experiment uses `seed + i`.
+    pub seed: u64,
+    /// Directory for CSV outputs (created on demand).
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            fast: false,
+            seed: 20230714, // arbitrary fixed default: SC'23 submission era
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Fast preset (used by tests and `--fast`).
+    pub fn fast() -> Self {
+        ExpOptions {
+            fast: true,
+            ..Default::default()
+        }
+    }
+
+    /// Number of independent runs per configuration (paper: 10).
+    pub fn n_runs(&self) -> usize {
+        if self.fast {
+            4
+        } else {
+            10
+        }
+    }
+
+    /// EPCC outer repetitions (paper: 100).
+    pub fn outer_reps(&self) -> u32 {
+        if self.fast {
+            8
+        } else {
+            100
+        }
+    }
+
+    /// BabelStream iterations (paper: 100).
+    pub fn stream_iters(&self) -> u32 {
+        if self.fast {
+            12
+        } else {
+            100
+        }
+    }
+}
+
+/// One paper-shape validation check.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being checked (e.g. "pinning reduces run spread").
+    pub name: String,
+    /// Whether the reproduced data shows the paper's shape.
+    pub passed: bool,
+    /// Supporting numbers.
+    pub detail: String,
+}
+
+impl Check {
+    /// Build a check result.
+    pub fn new(name: &str, passed: bool, detail: String) -> Check {
+        Check {
+            name: name.to_string(),
+            passed,
+            detail,
+        }
+    }
+}
+
+/// The outcome of one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct ExpReport {
+    /// Experiment id (e.g. "table2").
+    pub name: String,
+    /// Paper-style tables.
+    pub tables: Vec<Table>,
+    /// Shape checks against the paper's qualitative findings.
+    pub checks: Vec<Check>,
+}
+
+impl ExpReport {
+    /// Render everything to a printable string.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("==== {} ====\n", self.name));
+        for t in &self.tables {
+            s.push_str(&t.render());
+            s.push('\n');
+        }
+        for c in &self.checks {
+            s.push_str(&format!(
+                "[{}] {} — {}\n",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.detail
+            ));
+        }
+        s
+    }
+
+    /// Whether every shape check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Write all tables as CSVs under `dir`, named
+    /// `<experiment>_<index>.csv`.
+    pub fn write_csvs(&self, dir: &std::path::Path) -> std::io::Result<Vec<PathBuf>> {
+        let mut paths = Vec::new();
+        for (i, t) in self.tables.iter().enumerate() {
+            let p = dir.join(format!("{}_{}.csv", self.name, i));
+            t.write_csv(&p)?;
+            paths.push(p);
+        }
+        Ok(paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_thread_lists_spare_two() {
+        assert_eq!(*Platform::Dardel.scaling_threads().last().unwrap(), 254);
+        assert_eq!(*Platform::Vera.scaling_threads().last().unwrap(), 30);
+    }
+
+    #[test]
+    fn st_places_prefer_distinct_cores() {
+        let p = Platform::Dardel.st_places(128);
+        let m = Platform::Dardel.machine();
+        let resolved = p.resolve(&m);
+        assert_eq!(resolved.len(), 128);
+        // All first-context hardware threads.
+        assert!(resolved.iter().all(|pl| pl.first().0 < 128));
+    }
+
+    #[test]
+    fn st_places_fall_back_to_smt_for_254() {
+        let p = Platform::Dardel.st_places(254);
+        let m = Platform::Dardel.machine();
+        assert_eq!(p.resolve(&m).len(), 254);
+    }
+
+    #[test]
+    #[should_panic(expected = "no SMT")]
+    fn vera_has_no_mt_mode() {
+        Platform::Vera.mt_places(8);
+    }
+
+    #[test]
+    fn fast_options_shrink_work() {
+        let fast = ExpOptions::fast();
+        let full = ExpOptions::default();
+        assert!(fast.n_runs() < full.n_runs());
+        assert!(fast.outer_reps() < full.outer_reps());
+        assert_eq!(full.n_runs(), 10);
+        assert_eq!(full.outer_reps(), 100);
+    }
+
+    #[test]
+    fn report_renders_checks() {
+        let mut r = ExpReport {
+            name: "demo".into(),
+            ..Default::default()
+        };
+        r.checks.push(Check::new("x", true, "ok".into()));
+        assert!(r.render().contains("[PASS] x"));
+        assert!(r.all_passed());
+        r.checks.push(Check::new("y", false, "bad".into()));
+        assert!(!r.all_passed());
+    }
+}

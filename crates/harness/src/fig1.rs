@@ -1,0 +1,163 @@
+//! Figure 1: `syncbench` execution time (µs) when increasing the number
+//! of hardware threads, on Dardel (4–254) and Vera (2–30).
+//!
+//! The paper's observations: time grows with the thread count; it jumps
+//! sharply when the second socket is first used (>16 threads on Vera,
+//! >64 on Dardel) and again when SMT contexts come into play (254 on
+//! > Dardel); and the `reduction` clause is the most expensive
+//! > synchronization construct.
+
+use crate::common::{Check, ExpOptions, ExpReport, Platform};
+use ompvar_bench_epcc::syncbench::{self, SyncConstruct};
+use ompvar_bench_epcc::{run_many, EpccConfig};
+use ompvar_core::{fmt_us, Table};
+use ompvar_rt::runner::RegionRunner;
+
+/// Inner-repetition cap: full EPCC calibration targets 1000 µs per timed
+/// repetition; we cap the count to bound simulated event counts (noted in
+/// EXPERIMENTS.md). The cap scales inversely with the team size so that
+/// repetition *durations* stay comparable across thread counts (simulated
+/// event counts scale with `inner × n_threads`).
+pub fn inner_cap(opts: &ExpOptions, n_threads: usize) -> u32 {
+    if opts.fast {
+        ((4096 / n_threads) as u32).clamp(16, 512)
+    } else {
+        ((32_768 / n_threads) as u32).clamp(60, 2048)
+    }
+}
+
+/// Mean per-op overhead (µs) of `construct` at every thread count of
+/// `platform`. Returns `(threads, mean_us, cv)` triples.
+pub fn scaling_series(
+    opts: &ExpOptions,
+    platform: Platform,
+    construct: SyncConstruct,
+) -> Vec<(usize, f64, f64)> {
+    let cfg = EpccConfig::syncbench_default().fast(opts.outer_reps());
+    let mut out = Vec::new();
+    for n in platform.scaling_threads() {
+        let rt = platform.pinned_rt(n);
+        let inner = syncbench::calibrate_inner_reps(&rt, &cfg, construct, n, inner_cap(opts, n));
+        let region = syncbench::region_with_inner(&cfg, construct, n, inner);
+        let rs = run_many(&rt, &region, opts.n_runs(), opts.seed);
+        let pooled = rs.pooled();
+        let per_op = pooled.mean / inner as f64;
+        out.push((n, per_op, pooled.cv));
+    }
+    out
+}
+
+/// Per-op overhead (µs) of every construct at a fixed thread count.
+pub fn construct_costs(
+    opts: &ExpOptions,
+    platform: Platform,
+    n: usize,
+) -> Vec<(SyncConstruct, f64)> {
+    let cfg = EpccConfig::syncbench_default().fast(opts.outer_reps().min(10));
+    let rt = platform.pinned_rt(n);
+    SyncConstruct::ALL
+        .iter()
+        .map(|&c| {
+            let inner = syncbench::calibrate_inner_reps(&rt, &cfg, c, n, inner_cap(opts, n));
+            let region = syncbench::region_with_inner(&cfg, c, n, inner);
+            let res = rt.run_region(&region, opts.seed);
+            let mean = res.reps().iter().sum::<f64>() / res.reps().len() as f64;
+            (c, syncbench::overhead_us(&cfg, c, mean, inner))
+        })
+        .collect()
+}
+
+/// Execute and report.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let mut tables = Vec::new();
+    let mut checks = Vec::new();
+
+    for platform in [Platform::Dardel, Platform::Vera] {
+        let series = scaling_series(opts, platform, SyncConstruct::Reduction);
+        let mut t = Table::new(
+            &format!(
+                "Fig 1{}: syncbench reduction per-op time (µs) vs threads on {}",
+                if platform == Platform::Dardel { "a" } else { "b" },
+                platform.label()
+            ),
+            &["threads", "per-op µs", "cv"],
+        );
+        for &(n, us, cv) in &series {
+            t.row(&[n.to_string(), fmt_us(us), format!("{cv:.4}")]);
+        }
+        tables.push(t);
+
+        // Shape: cost grows with threads end-to-end.
+        let first = series.first().unwrap().1;
+        let last = series.last().unwrap().1;
+        checks.push(Check::new(
+            &format!("{}: reduction cost grows with threads", platform.label()),
+            last > first * 2.0,
+            format!("{first:.2} → {last:.2} µs"),
+        ));
+
+        // Shape: sharp jump when the second socket comes into play.
+        let socket_cores = match platform {
+            Platform::Dardel => 64,
+            Platform::Vera => 16,
+        };
+        let below = series
+            .iter()
+            .filter(|(n, _, _)| *n <= socket_cores)
+            .map(|&(_, us, _)| us)
+            .fold(f64::MIN, f64::max);
+        let above = series
+            .iter()
+            .find(|(n, _, _)| *n > socket_cores)
+            .map(|&(_, us, _)| us)
+            .unwrap();
+        checks.push(Check::new(
+            &format!("{}: jump at socket boundary", platform.label()),
+            above > below * 1.5,
+            format!("max ≤{socket_cores} thr: {below:.2} µs; first >: {above:.2} µs"),
+        ));
+    }
+
+    // Shape: reduction is the most expensive construct (Dardel, 32 thr).
+    let costs = construct_costs(opts, Platform::Dardel, 32);
+    let mut t = Table::new(
+        "Fig 1 (inset): per-construct overhead (µs), Dardel, 32 threads",
+        &["construct", "overhead µs"],
+    );
+    for (c, us) in &costs {
+        t.row(&[c.label().to_string(), fmt_us(*us)]);
+    }
+    tables.push(t);
+    let red = costs
+        .iter()
+        .find(|(c, _)| *c == SyncConstruct::Reduction)
+        .unwrap()
+        .1;
+    let max_other = costs
+        .iter()
+        .filter(|(c, _)| *c != SyncConstruct::Reduction)
+        .map(|&(_, us)| us)
+        .fold(f64::MIN, f64::max);
+    checks.push(Check::new(
+        "reduction is the most expensive construct",
+        red >= max_other,
+        format!("reduction {red:.2} µs vs max other {max_other:.2} µs"),
+    ));
+
+    ExpReport {
+        name: "fig1".into(),
+        tables,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_mode_shapes_hold() {
+        let rep = run(&ExpOptions::fast());
+        assert!(rep.all_passed(), "fig1 checks failed:\n{}", rep.render());
+    }
+}

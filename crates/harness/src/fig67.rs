@@ -1,0 +1,242 @@
+//! Figures 6 and 7: the effect of frequency variation on Vera.
+//!
+//! Sixteen threads pinned to cores, two placements: all 16 cores of one
+//! NUMA domain (= one socket on Vera), or 8 + 8 cores across both NUMA
+//! domains. A frequency logger samples every core from a spare core, as
+//! in the paper. Figure 6 uses `schedbench`, Figure 7 `syncbench`
+//! (reduction).
+//!
+//! The paper's observations: the cross-NUMA placement shows more frequency
+//! transitions (the brown/grey regions of Figures 6d/7d) and higher
+//! execution-time variability, both run-to-run and across repetitions.
+//!
+//! Mechanism (modeled): with 16 active cores, a Vera socket sits at its
+//! stable all-core turbo bin; with 8 active cores per socket, both
+//! sockets run in an unstable few-core turbo state with stochastic droop
+//! pulses, and OS daemons waking on the sockets' idle cores keep changing
+//! the active-core count, forcing retargets.
+
+use crate::common::{Check, ExpOptions, ExpReport, Platform};
+use ompvar_bench_epcc::syncbench::{self, SyncConstruct};
+use ompvar_bench_epcc::{run_many_full, schedbench, EpccConfig};
+use ompvar_core::{fmt_ratio, FreqTrace, RunSet, Table};
+use ompvar_rt::config::RegionResult;
+use ompvar_rt::region::{RegionSpec, Schedule};
+
+const PLATFORM: Platform = Platform::Vera;
+
+/// Which benchmark drives the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Figure 6: schedbench (static schedule).
+    Sched,
+    /// Figure 7: syncbench reduction.
+    Sync,
+}
+
+/// The two placements compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// 16 cores of NUMA domain 0.
+    OneNuma,
+    /// 8 cores each from NUMA domains 0 and 1.
+    TwoNumas,
+}
+
+impl Placement {
+    fn runtime(&self) -> ompvar_rt::simrt::SimRuntime {
+        match self {
+            Placement::OneNuma => PLATFORM.numa_rt(&[0], 16),
+            Placement::TwoNumas => PLATFORM.numa_rt(&[0, 1], 8),
+        }
+    }
+
+    /// Cores hosting benchmark threads under this placement.
+    pub fn benchmark_cores(&self) -> Vec<usize> {
+        match self {
+            Placement::OneNuma => (0..16).collect(),
+            Placement::TwoNumas => (0..8).chain(16..24).collect(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Placement::OneNuma => "1 NUMA",
+            Placement::TwoNumas => "2 NUMAs",
+        }
+    }
+}
+
+fn build_region(driver: Driver, opts: &ExpOptions) -> RegionSpec {
+    match driver {
+        Driver::Sched => {
+            let mut cfg = EpccConfig::schedbench_default().fast(opts.outer_reps().min(30));
+            cfg.iters_per_thr = if opts.fast { 256 } else { 1024 };
+            schedbench::region(&cfg, Schedule::Static { chunk: 1 }, 16)
+        }
+        Driver::Sync => {
+            let reps = if opts.fast { 40 } else { opts.outer_reps() };
+            let cfg = EpccConfig::syncbench_default().fast(reps);
+            // Inner count sized for EPCC's ~1 ms test time at 16 threads,
+            // so the measured window is long enough to observe frequency
+            // events.
+            syncbench::region_with_inner(&cfg, SyncConstruct::Reduction, 16, 300)
+        }
+    }
+}
+
+/// One placement's outcome: repetition times and frequency behaviour.
+#[derive(Debug, Clone)]
+pub struct PlacementOutcome {
+    /// Per-run repetition times.
+    pub runs: RunSet,
+    /// Frequency transitions per benchmark core per second, averaged over
+    /// runs.
+    pub transitions_per_core_sec: f64,
+    /// Fraction of logger samples where some benchmark core ran below
+    /// its placement's top observed frequency band.
+    pub drooped_fraction: f64,
+}
+
+/// Run one driver × placement cell.
+pub fn outcome(opts: &ExpOptions, driver: Driver, placement: Placement) -> PlacementOutcome {
+    let rt = placement.runtime();
+    let region = build_region(driver, opts);
+    let (runs, full) = run_many_full(&rt, &region, opts.n_runs(), opts.seed);
+    let cores = placement.benchmark_cores();
+    let mut transitions = 0usize;
+    let mut droop_samples = 0usize;
+    let mut total_samples = 0usize;
+    let mut total_secs = 0.0;
+    for res in &full {
+        let trace = to_trace(res);
+        transitions += trace.transitions_over(&cores, 0.05);
+        total_secs += res.wall_us / 1e6;
+        // A sample "droops" when any benchmark core is >100 MHz below the
+        // maximum frequency observed on benchmark cores in this run.
+        let peak = cores
+            .iter()
+            .map(|&c| trace.band(c).1)
+            .fold(f32::NEG_INFINITY, f32::max);
+        for i in 0..trace.len() {
+            total_samples += 1;
+            if cores.iter().any(|&c| trace.core_ghz[i][c] < peak - 0.1) {
+                droop_samples += 1;
+            }
+        }
+    }
+    PlacementOutcome {
+        runs,
+        transitions_per_core_sec: transitions as f64
+            / (cores.len() as f64 * total_secs.max(1e-9)),
+        drooped_fraction: droop_samples as f64 / total_samples.max(1) as f64,
+    }
+}
+
+/// Median of the per-run CVs: robust against one run being hit by a rare
+/// long IRQ burst, which would otherwise dominate a pooled CV.
+fn median_cv(rs: &RunSet) -> f64 {
+    ompvar_core::percentile(&rs.run_cvs(), 50.0)
+}
+
+fn to_trace(res: &RegionResult) -> FreqTrace {
+    FreqTrace::new(
+        res.freq_samples
+            .iter()
+            .map(|s| (s.time, s.core_ghz.clone()))
+            .collect(),
+    )
+}
+
+/// Execute Figure 6 or 7 and report.
+pub fn run_driver(opts: &ExpOptions, driver: Driver) -> ExpReport {
+    let name = match driver {
+        Driver::Sched => "fig6",
+        Driver::Sync => "fig7",
+    };
+    let one = outcome(opts, driver, Placement::OneNuma);
+    let two = outcome(opts, driver, Placement::TwoNumas);
+
+    let mut t = Table::new(
+        &format!(
+            "{}: {} on Vera, 16 threads, 1 vs 2 NUMA domains",
+            name,
+            match driver {
+                Driver::Sched => "schedbench (static_1)",
+                Driver::Sync => "syncbench (reduction)",
+            }
+        ),
+        &[
+            "placement",
+            "mean rep µs",
+            "pooled cv",
+            "run spread",
+            "freq trans/core/s",
+            "droop frac",
+        ],
+    );
+    for (p, o) in [(Placement::OneNuma, &one), (Placement::TwoNumas, &two)] {
+        let pooled = o.runs.pooled();
+        t.row(&[
+            p.label().to_string(),
+            format!("{:.2}", pooled.mean),
+            format!("{:.5}", pooled.cv),
+            fmt_ratio(o.runs.run_spread()),
+            format!("{:.2}", o.transitions_per_core_sec),
+            format!("{:.4}", o.drooped_fraction),
+        ]);
+    }
+
+    let checks = vec![
+        Check::new(
+            "cross-NUMA placement has more frequency transitions",
+            two.transitions_per_core_sec > one.transitions_per_core_sec * 1.5,
+            format!(
+                "{:.3} vs {:.3} transitions/core/s",
+                one.transitions_per_core_sec, two.transitions_per_core_sec
+            ),
+        ),
+        Check::new(
+            "cross-NUMA placement has higher repetition variability",
+            median_cv(&two.runs) > median_cv(&one.runs),
+            format!(
+                "median per-run cv {:.5} (1 NUMA) vs {:.5} (2 NUMAs)",
+                median_cv(&one.runs),
+                median_cv(&two.runs)
+            ),
+        ),
+    ];
+
+    ExpReport {
+        name: name.into(),
+        tables: vec![t],
+        checks,
+    }
+}
+
+/// Figure 6 entry point.
+pub fn run_fig6(opts: &ExpOptions) -> ExpReport {
+    run_driver(opts, Driver::Sched)
+}
+
+/// Figure 7 entry point.
+pub fn run_fig7(opts: &ExpOptions) -> ExpReport {
+    run_driver(opts, Driver::Sync)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_fast_mode_shapes_hold() {
+        let rep = run_fig6(&ExpOptions::fast());
+        assert!(rep.all_passed(), "fig6 checks failed:\n{}", rep.render());
+    }
+
+    #[test]
+    fn fig7_fast_mode_shapes_hold() {
+        let rep = run_fig7(&ExpOptions::fast());
+        assert!(rep.all_passed(), "fig7 checks failed:\n{}", rep.render());
+    }
+}

@@ -1,0 +1,145 @@
+//! Table 2: per-run execution time (µs) of `schedbench` with
+//! `schedule(dynamic,1)` on Dardel (4 and 254 threads) and Vera (4 and 30
+//! threads), 10 runs each. The paper's table shows tightly clustered
+//! times at low thread counts, higher times at high thread counts, and an
+//! occasional outlier run (run #9 on Dardel/254 takes 168.8 ms instead of
+//! ~154 ms).
+
+use crate::common::{Check, ExpOptions, ExpReport, Platform};
+use ompvar_bench_epcc::{run_many, schedbench, EpccConfig};
+use ompvar_core::{fmt_us, RunSet, Table};
+use ompvar_rt::region::Schedule;
+
+/// Paper values for the shape comparison (mean over the non-outlier runs,
+/// µs).
+pub const PAPER_MEANS_US: [(&str, usize, f64); 4] = [
+    ("Dardel", 4, 123_970.0),
+    ("Dardel", 254, 154_146.0),
+    ("Vera", 4, 136_544.0),
+    ("Vera", 30, 164_679.0),
+];
+
+/// One column of the table.
+#[derive(Debug, Clone)]
+pub struct Table2Column {
+    /// Platform of the column.
+    pub platform: Platform,
+    /// Thread count.
+    pub threads: usize,
+    /// Per-run mean execution time, µs (one entry per run).
+    pub run_means_us: Vec<f64>,
+}
+
+/// Run the experiment and return the four columns.
+pub fn collect(opts: &ExpOptions) -> Vec<Table2Column> {
+    let mut cfg = EpccConfig::schedbench_default().fast(opts.outer_reps());
+    if opts.fast {
+        cfg.iters_per_thr = 1024;
+    }
+    let mut cols = Vec::new();
+    for (platform, threads) in [
+        (Platform::Dardel, 4),
+        (Platform::Dardel, 254),
+        (Platform::Vera, 4),
+        (Platform::Vera, 30),
+    ] {
+        let rt = platform.pinned_rt(threads);
+        let region = schedbench::region(&cfg, Schedule::Dynamic { chunk: 1 }, threads);
+        let rs: RunSet = run_many(&rt, &region, opts.n_runs(), opts.seed);
+        cols.push(Table2Column {
+            platform,
+            threads,
+            run_means_us: rs.run_means(),
+        });
+    }
+    cols
+}
+
+/// Execute and report.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let cols = collect(opts);
+    let mut table = Table::new(
+        "Table 2: schedbench (dynamic_1) execution time (µs) per run",
+        &[
+            "run #",
+            "Dardel 4 thr",
+            "Dardel 254 thr",
+            "Vera 4 thr",
+            "Vera 30 thr",
+        ],
+    );
+    let n_runs = cols[0].run_means_us.len();
+    for r in 0..n_runs {
+        table.row(&[
+            (r + 1).to_string(),
+            fmt_us(cols[0].run_means_us[r]),
+            fmt_us(cols[1].run_means_us[r]),
+            fmt_us(cols[2].run_means_us[r]),
+            fmt_us(cols[3].run_means_us[r]),
+        ]);
+    }
+
+    let mut checks = Vec::new();
+    // Shape 1: execution time grows with thread count on both platforms
+    // (dispatch contention + lower all-core frequency).
+    for pair in [(0usize, 1usize), (2, 3)] {
+        let lo = mean(&cols[pair.0].run_means_us);
+        let hi = mean(&cols[pair.1].run_means_us);
+        checks.push(Check::new(
+            &format!(
+                "{}: time grows {} → {} threads",
+                cols[pair.0].platform.label(),
+                cols[pair.0].threads,
+                cols[pair.1].threads
+            ),
+            hi > lo * 1.1,
+            format!("{:.0} → {:.0} µs", lo, hi),
+        ));
+    }
+    // Shape 2: low-thread-count columns are tight (CV < 1%).
+    for c in [&cols[0], &cols[2]] {
+        let s = ompvar_core::Summary::of(&c.run_means_us);
+        checks.push(Check::new(
+            &format!("{} {} thr: runs tight", c.platform.label(), c.threads),
+            s.cv < 0.01,
+            format!("cv = {:.5}", s.cv),
+        ));
+    }
+    // Shape 3 (when not in fast mode): paper-vs-simulated means agree
+    // within 15% for all four columns.
+    if !opts.fast {
+        for (i, (plat, thr, paper)) in PAPER_MEANS_US.iter().enumerate() {
+            let got = mean(&cols[i].run_means_us);
+            let rel = (got - paper).abs() / paper;
+            checks.push(Check::new(
+                &format!("{plat} {thr} thr: mean within 15% of paper"),
+                rel < 0.15,
+                format!("paper {:.0} µs, simulated {:.0} µs ({:+.1}%)", paper, got, 100.0 * (got - paper) / paper),
+            ));
+        }
+    }
+    ExpReport {
+        name: "table2".into(),
+        tables: vec![table],
+        checks,
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_mode_shapes_hold() {
+        let rep = run(&ExpOptions::fast());
+        assert!(
+            rep.all_passed(),
+            "table2 shape checks failed:\n{}",
+            rep.render()
+        );
+    }
+}

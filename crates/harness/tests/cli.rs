@@ -1,0 +1,60 @@
+//! End-to-end tests of the `ompvar-repro` CLI binary.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ompvar-repro"))
+}
+
+#[test]
+fn fast_table2_prints_table_and_checks() {
+    let out_dir = std::env::temp_dir().join("ompvar_cli_test");
+    let out = repro()
+        .args(["--fast", "--seed", "5", "--out"])
+        .arg(&out_dir)
+        .arg("table2")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("Table 2"));
+    assert!(stdout.contains("[PASS]"));
+    assert!(!stdout.contains("[FAIL]"), "{stdout}");
+    // CSV written.
+    assert!(out_dir.join("table2_0.csv").exists());
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let out = repro().arg("fig99").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = repro().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn same_seed_reproduces_identical_output() {
+    let run = || {
+        let out = repro()
+            .args(["--fast", "--seed", "9", "--out"])
+            .arg(std::env::temp_dir().join("ompvar_cli_det"))
+            .arg("fig2")
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.contains("took") && !l.contains("wrote"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(run(), run());
+    std::fs::remove_dir_all(std::env::temp_dir().join("ompvar_cli_det")).ok();
+}

@@ -1,0 +1,102 @@
+//! Runtime configuration: the affinity environment of a team, mirroring
+//! the `OMP_PLACES` / `OMP_PROC_BIND` environment variables, and the
+//! result type shared by both backends.
+
+use ompvar_sim::trace::{Counters, FreqSample};
+use ompvar_sim::task::TaskStats;
+use ompvar_topology::{Places, ProcBind};
+use std::collections::BTreeMap;
+
+/// Affinity configuration of a team.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtConfig {
+    /// Place list (`OMP_PLACES`).
+    pub places: Places,
+    /// Binding policy (`OMP_PROC_BIND`).
+    pub bind: ProcBind,
+}
+
+impl RtConfig {
+    /// Threads pinned one-per-place, close to the master — the paper's
+    /// "after thread-pinning" configuration.
+    pub fn pinned_close(places: Places) -> Self {
+        RtConfig {
+            places,
+            bind: ProcBind::Close,
+        }
+    }
+
+    /// Unbound threads (`OMP_PROC_BIND=false`) — the paper's "before
+    /// thread-pinning" configuration; the OS places and migrates threads.
+    pub fn unbound() -> Self {
+        RtConfig {
+            places: Places::Threads(None),
+            bind: ProcBind::False,
+        }
+    }
+
+    /// Parse from `OMP_PLACES`/`OMP_PROC_BIND`-style strings.
+    pub fn from_env_strs(places: &str, bind: &str) -> Result<Self, String> {
+        let places = Places::parse(places).map_err(|e| e.to_string())?;
+        let bind =
+            ProcBind::parse(bind).ok_or_else(|| format!("invalid OMP_PROC_BIND '{bind}'"))?;
+        Ok(RtConfig { places, bind })
+    }
+}
+
+/// Result of running a region on either backend.
+#[derive(Debug, Clone, Default)]
+pub struct RegionResult {
+    /// Measured intervals, µs, keyed by marker-pair id: entry `k` holds
+    /// the durations of every `MarkBegin(k)`/`MarkEnd(k)` pair on the
+    /// master thread, in execution order.
+    pub intervals_us: BTreeMap<u32, Vec<f64>>,
+    /// Wall time of the whole region, µs.
+    pub wall_us: f64,
+    /// Frequency-logger samples (simulated backend only, when enabled).
+    pub freq_samples: Vec<FreqSample>,
+    /// Engine counters (simulated backend only).
+    pub counters: Option<Counters>,
+    /// Per-team-thread execution statistics, indexed by rank (simulated
+    /// backend only): busy/wait/preempted time, migrations, preemptions —
+    /// the raw material for straggler analyses.
+    pub thread_stats: Vec<TaskStats>,
+}
+
+impl RegionResult {
+    /// The per-repetition times (µs) of the default measured interval 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region recorded no interval 0.
+    pub fn reps(&self) -> &[f64] {
+        self.intervals_us
+            .get(&0)
+            .expect("region recorded no measured interval 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_round_trip() {
+        let c = RtConfig::from_env_strs("cores(4)", "close").unwrap();
+        assert_eq!(c.bind, ProcBind::Close);
+        assert_eq!(c.places, Places::Cores(Some(4)));
+        assert!(RtConfig::from_env_strs("cores(4)", "sideways").is_err());
+        assert!(RtConfig::from_env_strs("corez", "close").is_err());
+    }
+
+    #[test]
+    fn unbound_has_no_binding() {
+        assert_eq!(RtConfig::unbound().bind, ProcBind::False);
+    }
+
+    #[test]
+    #[should_panic(expected = "no measured interval")]
+    fn reps_panics_without_interval() {
+        RegionResult::default().reps();
+    }
+}

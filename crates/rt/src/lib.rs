@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # ompvar-rt — an OpenMP-semantics runtime with two backends
+//!
+//! This crate provides the runtime layer of the `ompvar` study. A
+//! benchmark describes its parallel region once, as a tree of
+//! [`region::Construct`]s (work-shared loops with static/dynamic/guided
+//! schedules, barriers, critical sections, locks, atomics, `single`,
+//! `ordered`, reductions, and EPCC-style measurement markers), and runs it
+//! on either backend:
+//!
+//! * [`native::NativeRuntime`] — real OS threads using this crate's own
+//!   synchronization primitives (sense-reversing barrier, atomic chunk
+//!   dispatch, ticket-ordered sections) and `sched_setaffinity` pinning.
+//!   Functionally complete on any host, but limited to the host's scale.
+//! * [`simrt::SimRuntime`] — lowers the same region onto the
+//!   `ompvar-sim` discrete-event machine model, enabling 256-hardware-
+//!   thread experiments with OS noise, DVFS and SMT on any host,
+//!   deterministically.
+//!
+//! Affinity is configured through [`config::RtConfig`], mirroring
+//! `OMP_PLACES`/`OMP_PROC_BIND`.
+
+pub mod config;
+pub mod native;
+pub mod region;
+pub mod runner;
+pub mod simrt;
+
+pub use config::{RegionResult, RtConfig};
+pub use native::NativeRuntime;
+pub use region::{Construct, RegionSpec, Schedule};
+pub use runner::RegionRunner;
+pub use simrt::{FreqLoggerCfg, SimRuntime};

@@ -1,0 +1,99 @@
+//! Calibrated busy-wait delay — the native analogue of EPCC's `delay()`.
+//!
+//! EPCC benchmarks burn a configurable amount of work per iteration with a
+//! dependency-chain spin loop. We calibrate the chain's iterations-per-
+//! microsecond once per process and reuse it, exactly like the EPCC
+//! drivers do at startup.
+
+use std::hint::black_box;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One unit of the dependency chain: cheap, non-optimizable-away work.
+#[inline]
+fn chain_step(x: u64) -> u64 {
+    // xorshift-ish step: a serial dependency the compiler cannot collapse.
+    let mut v = x;
+    v ^= v << 13;
+    v ^= v >> 7;
+    v ^= v << 17;
+    v
+}
+
+/// Run `iters` chain steps.
+#[inline]
+pub fn burn(iters: u64) -> u64 {
+    let mut v = 0x9E3779B97F4A7C15u64;
+    for _ in 0..iters {
+        v = chain_step(v);
+    }
+    black_box(v)
+}
+
+fn calibrate() -> f64 {
+    // Warm up, then measure a block large enough to dwarf timer overhead.
+    burn(100_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let iters = 2_000_000u64;
+        let t0 = Instant::now();
+        burn(iters);
+        let dt = t0.elapsed().as_secs_f64() * 1e6; // µs
+        if dt > 0.0 {
+            best = best.min(dt / iters as f64); // µs per iter
+        }
+    }
+    assert!(best.is_finite() && best > 0.0, "delay calibration failed");
+    1.0 / best // iters per µs
+}
+
+/// Iterations of the delay chain per microsecond on this host.
+pub fn iters_per_us() -> f64 {
+    static CAL: OnceLock<f64> = OnceLock::new();
+    *CAL.get_or_init(calibrate)
+}
+
+/// Busy-wait for approximately `us` microseconds of CPU work.
+#[inline]
+pub fn delay(us: f64) {
+    if us <= 0.0 {
+        return;
+    }
+    let iters = (us * iters_per_us()).ceil() as u64;
+    burn(iters);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn calibration_is_positive_and_cached() {
+        let a = iters_per_us();
+        let b = iters_per_us();
+        assert!(a > 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delay_takes_roughly_the_requested_time() {
+        delay(100.0); // warm
+        let t0 = Instant::now();
+        delay(2_000.0);
+        let dt = t0.elapsed().as_secs_f64() * 1e6;
+        // Shared CI machines jitter; accept a wide band.
+        assert!(
+            dt > 1_000.0 && dt < 20_000.0,
+            "delay(2000us) took {dt} µs"
+        );
+    }
+
+    #[test]
+    fn zero_and_negative_delays_return_immediately() {
+        let t0 = Instant::now();
+        delay(0.0);
+        delay(-5.0);
+        assert!(t0.elapsed().as_micros() < 5_000);
+    }
+}

@@ -1,0 +1,272 @@
+//! The construct IR: a backend-independent description of an OpenMP-style
+//! parallel region.
+//!
+//! Benchmarks (EPCC, BabelStream) describe their work as a tree of
+//! [`Construct`]s executed SPMD-style by every thread of the team. The
+//! same description runs on the [native backend](crate::native) (real
+//! threads) and on the [simulated backend](crate::simrt) (virtual time on
+//! a modeled machine), which is what makes measurements comparable.
+
+use ompvar_sim::task::CorunClass;
+
+/// Loop schedule, mirroring `omp for schedule(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// `schedule(static, chunk)`.
+    Static {
+        /// Chunk size (iterations).
+        chunk: u64,
+    },
+    /// `schedule(dynamic, chunk)`.
+    Dynamic {
+        /// Chunk size (iterations).
+        chunk: u64,
+    },
+    /// `schedule(guided, min_chunk)`.
+    Guided {
+        /// Minimum chunk size (iterations).
+        min_chunk: u64,
+    },
+}
+
+impl Schedule {
+    /// Parse the `OMP_SCHEDULE` syntax: `kind[,chunk]` with kind one of
+    /// `static`, `dynamic`, `guided` (case-insensitive). A missing chunk
+    /// defaults to 1 for dynamic/guided and to 1 for static (this
+    /// runtime's `static` is always chunked; a chunk of 0 is rejected).
+    pub fn parse(s: &str) -> Option<Schedule> {
+        let mut it = s.split(',');
+        let kind = it.next()?.trim().to_ascii_lowercase();
+        let chunk: u64 = match it.next() {
+            Some(c) => c.trim().parse().ok()?,
+            None => 1,
+        };
+        if it.next().is_some() || chunk == 0 {
+            return None;
+        }
+        match kind.as_str() {
+            "static" => Some(Schedule::Static { chunk }),
+            "dynamic" => Some(Schedule::Dynamic { chunk }),
+            "guided" => Some(Schedule::Guided { min_chunk: chunk }),
+            _ => None,
+        }
+    }
+
+    /// Short label used in reports, e.g. `dynamic_1`.
+    pub fn label(&self) -> String {
+        match self {
+            Schedule::Static { chunk } => format!("static_{chunk}"),
+            Schedule::Dynamic { chunk } => format!("dynamic_{chunk}"),
+            Schedule::Guided { min_chunk } => format!("guided_{min_chunk}"),
+        }
+    }
+}
+
+/// One construct executed by every thread of the team, in program order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Construct {
+    /// Spin-compute for the given number of microseconds of *nominal*
+    /// (max-frequency, uncontended) time — the EPCC `delay()` primitive.
+    DelayUs(f64),
+    /// Compute a fixed cycle count with an explicit SMT class.
+    Compute {
+        /// Cycles of work.
+        cycles: f64,
+        /// SMT co-run class.
+        class: CorunClass,
+    },
+    /// Stream this many bytes of memory traffic per thread.
+    StreamBytes(f64),
+    /// Work-shared loop: `total_iters` iterations of `delay(body_us)`
+    /// distributed by `schedule`, followed by the implicit end-of-loop
+    /// barrier unless `nowait`.
+    ParallelFor {
+        /// Schedule kind and chunking.
+        schedule: Schedule,
+        /// Total loop iterations across the team.
+        total_iters: u64,
+        /// Per-iteration body duration (µs of nominal time).
+        body_us: f64,
+        /// Per-iteration ordered section (µs), if this is an ordered loop.
+        ordered_us: Option<f64>,
+        /// Skip the implicit barrier at loop end.
+        nowait: bool,
+    },
+    /// Explicit team barrier.
+    Barrier,
+    /// `omp critical` around `delay(body_us)`.
+    Critical {
+        /// Critical-section body (µs).
+        body_us: f64,
+    },
+    /// Explicit lock/unlock around `delay(body_us)` (EPCC LOCK/UNLOCK).
+    LockUnlock {
+        /// Locked-section body (µs).
+        body_us: f64,
+    },
+    /// `omp atomic` update of a shared scalar.
+    Atomic,
+    /// `omp single` with a `delay(body_us)` body (implicit barrier).
+    Single {
+        /// Single-region body (µs).
+        body_us: f64,
+    },
+    /// `omp parallel`-style enclosed region: models fork/join around the
+    /// body (a barrier on entry and exit).
+    ParallelRegion {
+        /// Constructs executed inside the region.
+        body: Vec<Construct>,
+    },
+    /// Reduction: every thread computes `delay(body_us)` then combines
+    /// into a shared accumulator (serialized), then the team barrier.
+    Reduction {
+        /// Per-thread local work (µs).
+        body_us: f64,
+    },
+    /// Explicit tasking (`omp task` + `taskwait`): spawners create
+    /// `per_spawner` tasks of `delay(body_us)` each; the whole team then
+    /// reaches a task-scheduling point, executes the queued tasks, waits
+    /// for completion, and synchronizes (EPCC taskbench style).
+    Tasks {
+        /// Tasks created by each spawning thread.
+        per_spawner: u32,
+        /// Task body duration (µs of nominal time).
+        body_us: f64,
+        /// Only the master spawns (EPCC "MASTER TASK"); otherwise every
+        /// thread spawns (EPCC "PARALLEL TASK").
+        master_only: bool,
+    },
+    /// Master-only timestamp: begin of measured interval `id`.
+    MarkBegin(u32),
+    /// Master-only timestamp: end of measured interval `id`.
+    MarkEnd(u32),
+    /// Repeat `body` `count` times.
+    Repeat {
+        /// Repetition count.
+        count: u32,
+        /// Repeated constructs.
+        body: Vec<Construct>,
+    },
+}
+
+/// A full region specification: the team size and the construct list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSpec {
+    /// Number of OpenMP threads in the team.
+    pub n_threads: usize,
+    /// Construct list, executed SPMD by every thread.
+    pub constructs: Vec<Construct>,
+}
+
+impl RegionSpec {
+    /// Convenience constructor.
+    pub fn new(n_threads: usize, constructs: Vec<Construct>) -> Self {
+        assert!(n_threads > 0, "team needs at least one thread");
+        RegionSpec {
+            n_threads,
+            constructs,
+        }
+    }
+
+    /// The canonical EPCC-style measurement wrapper: two *unmeasured*
+    /// warm-up repetitions (letting thread placement and the frequency
+    /// governor settle, as a real run does before its first timestamp),
+    /// then `outer_reps` repetitions of {barrier; mark-begin; `inner` ×
+    /// body; mark-end}, measured as interval 0.
+    pub fn measured(
+        n_threads: usize,
+        outer_reps: u32,
+        inner_reps: u32,
+        body: Vec<Construct>,
+    ) -> Self {
+        let warmup = Construct::Repeat {
+            count: 2,
+            body: vec![
+                Construct::Barrier,
+                Construct::Repeat {
+                    count: inner_reps,
+                    body: body.clone(),
+                },
+            ],
+        };
+        RegionSpec::new(
+            n_threads,
+            vec![
+                warmup,
+                Construct::Repeat {
+                    count: outer_reps,
+                    body: vec![
+                        Construct::Barrier,
+                        Construct::MarkBegin(0),
+                        Construct::Repeat {
+                            count: inner_reps,
+                            body,
+                        },
+                        Construct::MarkEnd(0),
+                    ],
+                },
+            ],
+        )
+    }
+}
+
+/// Nominal cycles for `delay(us)` on a machine with the given max
+/// frequency: EPCC calibrates its delay loop at full turbo.
+pub fn delay_cycles(us: f64, max_ghz: f64) -> f64 {
+    us * 1e3 * max_ghz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_labels() {
+        assert_eq!(Schedule::Static { chunk: 1 }.label(), "static_1");
+        assert_eq!(Schedule::Dynamic { chunk: 8 }.label(), "dynamic_8");
+        assert_eq!(Schedule::Guided { min_chunk: 4 }.label(), "guided_4");
+    }
+
+    #[test]
+    fn schedule_parsing() {
+        assert_eq!(Schedule::parse("dynamic,1"), Some(Schedule::Dynamic { chunk: 1 }));
+        assert_eq!(Schedule::parse("STATIC, 8"), Some(Schedule::Static { chunk: 8 }));
+        assert_eq!(Schedule::parse("guided"), Some(Schedule::Guided { min_chunk: 1 }));
+        assert_eq!(Schedule::parse("auto"), None);
+        assert_eq!(Schedule::parse("dynamic,0"), None);
+        assert_eq!(Schedule::parse("dynamic,1,2"), None);
+    }
+
+    #[test]
+    fn measured_wrapper_shape() {
+        let r = RegionSpec::measured(4, 10, 5, vec![Construct::Barrier]);
+        // Warm-up block first, unmeasured.
+        let Construct::Repeat { count, body } = &r.constructs[0] else {
+            panic!()
+        };
+        assert_eq!(*count, 2);
+        assert!(!body
+            .iter()
+            .any(|c| matches!(c, Construct::MarkBegin(_) | Construct::MarkEnd(_))));
+        // Then the measured block.
+        let Construct::Repeat { count, body } = &r.constructs[1] else {
+            panic!()
+        };
+        assert_eq!(*count, 10);
+        assert!(matches!(body[0], Construct::Barrier));
+        assert!(matches!(body[1], Construct::MarkBegin(0)));
+        assert!(matches!(body[3], Construct::MarkEnd(0)));
+    }
+
+    #[test]
+    fn delay_cycles_scale_with_frequency() {
+        assert_eq!(delay_cycles(15.0, 3.4), 51_000.0);
+        assert_eq!(delay_cycles(0.1, 3.7), 370.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        RegionSpec::new(0, vec![]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Backend abstraction: anything that can execute a region.
+
+use crate::config::RegionResult;
+use crate::native::NativeRuntime;
+use crate::region::RegionSpec;
+use crate::simrt::SimRuntime;
+
+/// A runtime backend capable of executing a [`RegionSpec`].
+pub trait RegionRunner {
+    /// Execute `region`. `seed` determines all stochastic behaviour on
+    /// the simulated backend and is ignored by the native backend (real
+    /// hardware provides its own entropy).
+    fn run_region(&self, region: &RegionSpec, seed: u64) -> RegionResult;
+
+    /// Short backend label for reports.
+    fn backend_name(&self) -> &'static str;
+}
+
+impl RegionRunner for SimRuntime {
+    fn run_region(&self, region: &RegionSpec, seed: u64) -> RegionResult {
+        self.run(region, seed)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+}
+
+impl RegionRunner for NativeRuntime {
+    fn run_region(&self, region: &RegionSpec, _seed: u64) -> RegionResult {
+        self.run(region)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "native"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RtConfig;
+    use crate::region::Construct;
+    use ompvar_sim::params::SimParams;
+    use ompvar_topology::{MachineSpec, Places};
+
+    #[test]
+    fn both_backends_run_the_same_region() {
+        let region = RegionSpec::measured(2, 2, 2, vec![Construct::Barrier]);
+        let sim = SimRuntime::new(
+            MachineSpec::vera(),
+            RtConfig::pinned_close(Places::Threads(Some(2))),
+        )
+        .with_params(SimParams::sterile());
+        let nat = NativeRuntime::new(RtConfig::unbound());
+        for (res, name) in [
+            (sim.run_region(&region, 1), sim.backend_name()),
+            (nat.run_region(&region, 1), nat.backend_name()),
+        ] {
+            assert_eq!(res.reps().len(), 2, "{name}");
+        }
+    }
+}

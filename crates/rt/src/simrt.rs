@@ -1,0 +1,542 @@
+//! The simulated backend: lowers a [`RegionSpec`] onto the
+//! `ompvar-sim` discrete-event engine and runs it on a modeled machine.
+//!
+//! All ranks execute the same construct list, so lowering walks the tree
+//! twice with identical traversal order: once to allocate the shared sync
+//! objects (one barrier per barrier construct, one lock per critical,
+//! etc.), then once per rank to emit that rank's op program, consuming the
+//! allocation sequence by index.
+
+use crate::config::{RegionResult, RtConfig};
+use crate::region::{delay_cycles, Construct, RegionSpec, Schedule};
+use ompvar_sim::engine::Simulator;
+use ompvar_sim::params::SimParams;
+use ompvar_sim::sync::{LoopSchedule, LoopSpec};
+use ompvar_sim::task::{CorunClass, ObjId, Op, Program, TaskId};
+use ompvar_sim::time::{Time, SEC, US};
+use ompvar_topology::{assign_places, MachineSpec, ProcBind};
+use std::collections::BTreeSet;
+
+/// Frequency-logger configuration for simulated runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqLoggerCfg {
+    /// Hardware thread hosting the logger (costs CPU there), or `None`
+    /// for a free observer.
+    pub cpu: Option<usize>,
+    /// Sampling period.
+    pub period: Time,
+    /// CPU cost per sample.
+    pub cost: Time,
+}
+
+impl FreqLoggerCfg {
+    /// The paper's setup: a Python logger on a dedicated spare core,
+    /// sampling every 50 ms at ~60 µs of CPU per sweep.
+    pub fn on_spare_core(cpu: usize) -> Self {
+        FreqLoggerCfg {
+            cpu: Some(cpu),
+            period: 50_000 * US,
+            cost: 60 * US,
+        }
+    }
+}
+
+/// Simulated OpenMP-style runtime.
+#[derive(Debug, Clone)]
+pub struct SimRuntime {
+    /// Machine model to run on.
+    pub machine: MachineSpec,
+    /// Simulator parameters (noise, DVFS, scheduler, sync costs).
+    pub params: SimParams,
+    /// Team affinity configuration.
+    pub config: RtConfig,
+    /// Optional frequency logger.
+    pub freq_logger: Option<FreqLoggerCfg>,
+    /// Virtual-time budget for one region run.
+    pub time_limit: Time,
+}
+
+impl SimRuntime {
+    /// Runtime for `machine` with its calibrated parameters.
+    pub fn new(machine: MachineSpec, config: RtConfig) -> Self {
+        let params = SimParams::for_machine(&machine);
+        SimRuntime {
+            machine,
+            params,
+            config,
+            freq_logger: None,
+            time_limit: 3_000 * SEC,
+        }
+    }
+
+    /// Override the simulator parameters.
+    pub fn with_params(mut self, params: SimParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enable the frequency logger.
+    pub fn with_freq_logger(mut self, cfg: FreqLoggerCfg) -> Self {
+        self.freq_logger = Some(cfg);
+        self
+    }
+
+    /// Topology contention multiplier for a team bound as configured.
+    fn span_factor(&self, region: &RegionSpec) -> f64 {
+        let cross = self.params.sync.cross_socket_factor;
+        if self.config.bind == ProcBind::False {
+            // Unbound threads roam the whole node: worst case.
+            return cross;
+        }
+        let assignment = assign_places(
+            &self.machine,
+            &self.config.places,
+            self.config.bind,
+            region.n_threads,
+        );
+        let hws: Vec<_> = assignment
+            .iter_bound()
+            .map(|(_, p)| p.first())
+            .collect();
+        if self.machine.sockets_touched(&hws) > 1 {
+            cross
+        } else if self.machine.numas_touched(&hws) > 1 {
+            (1.0 + cross) / 2.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Run `region`, deterministically from `seed`.
+    pub fn run(&self, region: &RegionSpec, seed: u64) -> RegionResult {
+        let mut sim = Simulator::new(self.machine.clone(), self.params.clone(), seed);
+        let span = self.span_factor(region);
+        let mut lower = Lowerer {
+            sim: &mut sim,
+            machine: &self.machine,
+            n_threads: region.n_threads,
+            span,
+            allocs: Vec::new(),
+            next: 0,
+            marker_pairs: BTreeSet::new(),
+            combine_ns: 0.0,
+        };
+        lower.combine_ns = self.params.sync.reduction_combine_ns;
+        lower.allocate(&region.constructs);
+        let marker_pairs = lower.marker_pairs.clone();
+
+        let assignment = assign_places(
+            &self.machine,
+            &self.config.places,
+            self.config.bind,
+            region.n_threads,
+        );
+        let mut master: Option<TaskId> = None;
+        for rank in 0..region.n_threads {
+            lower.next = 0;
+            let mut ops = Vec::new();
+            lower.emit(&region.constructs, rank, &mut ops);
+            let program = Program::new(ops);
+            let pin = assignment.place_of(rank).cloned();
+            let tid = lower.sim.spawn_user(rank, program, pin);
+            if rank == 0 {
+                master = Some(tid);
+            }
+        }
+        drop(lower);
+        if let Some(cfg) = self.freq_logger {
+            sim.enable_freq_logger(cfg.cpu, cfg.period, cfg.cost);
+        }
+        let report = sim.run(self.time_limit);
+        let master = master.expect("team is non-empty");
+        let mut result = RegionResult {
+            wall_us: report.final_time as f64 / 1e3,
+            freq_samples: report.freq_samples.clone(),
+            counters: Some(report.counters),
+            thread_stats: report.task_stats.iter().map(|&(_, s)| s).collect(),
+            ..Default::default()
+        };
+        for k in marker_pairs {
+            let us: Vec<f64> = report
+                .intervals(master, 2 * k, 2 * k + 1)
+                .into_iter()
+                .map(|t| t as f64 / 1e3)
+                .collect();
+            result.intervals_us.insert(k, us);
+        }
+        result
+    }
+}
+
+/// Objects allocated for one construct instance, in traversal order.
+#[derive(Debug, Clone, Copy)]
+enum Alloc {
+    None,
+    Barrier(ObjId),
+    Lock(ObjId),
+    Atomic(ObjId),
+    LoopWithBarrier(ObjId, Option<ObjId>),
+    SingleWithBarrier(ObjId, ObjId),
+    LockWithBarrier(ObjId, ObjId),
+    RegionBarriers(ObjId, ObjId),
+    PoolWithBarrier(ObjId, ObjId),
+}
+
+struct Lowerer<'a> {
+    sim: &'a mut Simulator,
+    machine: &'a MachineSpec,
+    n_threads: usize,
+    span: f64,
+    allocs: Vec<Alloc>,
+    next: usize,
+    marker_pairs: BTreeSet<u32>,
+    combine_ns: f64,
+}
+
+impl Lowerer<'_> {
+    /// Pick the dynamic-loop batching factor: cap the number of grabs per
+    /// thread per loop pass at ~256 so event counts stay tractable without
+    /// distorting load balancing at realistic granularity.
+    fn batch_for(&self, schedule: Schedule, total_iters: u64) -> u32 {
+        match schedule {
+            Schedule::Dynamic { chunk } => {
+                let per_thread_chunks = total_iters / (self.n_threads as u64 * chunk).max(1);
+                (per_thread_chunks / 256).clamp(1, 64) as u32
+            }
+            _ => 1,
+        }
+    }
+
+    fn allocate(&mut self, cs: &[Construct]) {
+        for c in cs {
+            let alloc = match c {
+                Construct::DelayUs(_)
+                | Construct::Compute { .. }
+                | Construct::StreamBytes(_)
+                | Construct::Atomic
+                | Construct::MarkBegin(_)
+                | Construct::MarkEnd(_) => match c {
+                    Construct::Atomic => Alloc::Atomic(self.sim.add_atomic(self.span)),
+                    Construct::MarkBegin(k) => {
+                        self.marker_pairs.insert(*k);
+                        Alloc::None
+                    }
+                    _ => Alloc::None,
+                },
+                Construct::Barrier => {
+                    Alloc::Barrier(self.sim.add_barrier(self.n_threads, self.span))
+                }
+                Construct::Critical { .. } => Alloc::Lock(self.sim.add_lock(self.span)),
+                Construct::LockUnlock { .. } => Alloc::Lock(self.sim.add_lock(self.span)),
+                Construct::Single { .. } => Alloc::SingleWithBarrier(
+                    self.sim.add_single(self.n_threads),
+                    self.sim.add_barrier(self.n_threads, self.span),
+                ),
+                Construct::Reduction { .. } => Alloc::LockWithBarrier(
+                    self.sim.add_lock(self.span),
+                    self.sim.add_barrier(self.n_threads, self.span),
+                ),
+                Construct::Tasks { master_only, .. } => {
+                    // Pool + post-spawn barrier + final barrier: the
+                    // allocation helper only carries two ids, so pack the
+                    // two barriers as consecutive allocations.
+                    let spawners = if *master_only { 1 } else { self.n_threads };
+                    let pool = self.sim.add_task_pool(self.span, self.n_threads, spawners);
+                    let after_spawn = self.sim.add_barrier(self.n_threads, self.span);
+                    self.allocs.push(Alloc::PoolWithBarrier(pool, after_spawn));
+                    let fin = self.sim.add_barrier(self.n_threads, self.span);
+                    Alloc::Barrier(fin)
+                }
+                Construct::ParallelFor {
+                    schedule,
+                    total_iters,
+                    body_us,
+                    ordered_us,
+                    nowait,
+                } => {
+                    let loop_sched = match schedule {
+                        Schedule::Static { chunk } => LoopSchedule::Static { chunk: *chunk },
+                        Schedule::Dynamic { chunk } => LoopSchedule::Dynamic { chunk: *chunk },
+                        Schedule::Guided { min_chunk } => LoopSchedule::Guided {
+                            min_chunk: *min_chunk,
+                        },
+                    };
+                    let spec = LoopSpec {
+                        schedule: loop_sched,
+                        total_iters: *total_iters,
+                        n_threads: self.n_threads,
+                        body_cycles: delay_cycles(*body_us, self.machine.clock.max_ghz),
+                        body_class: CorunClass::Latency,
+                        ordered_section_ns: ordered_us.map(|us| us * 1e3),
+                        batch: self.batch_for(*schedule, *total_iters),
+                        span_factor: self.span,
+                    };
+                    let lp = self.sim.add_loop(spec);
+                    let bar = if *nowait {
+                        None
+                    } else {
+                        Some(self.sim.add_barrier(self.n_threads, self.span))
+                    };
+                    Alloc::LoopWithBarrier(lp, bar)
+                }
+                Construct::ParallelRegion { body } => {
+                    let entry = self.sim.add_barrier(self.n_threads, self.span);
+                    let exit = self.sim.add_barrier(self.n_threads, self.span);
+                    self.allocs.push(Alloc::RegionBarriers(entry, exit));
+                    self.allocate(body);
+                    continue;
+                }
+                Construct::Repeat { body, .. } => {
+                    self.allocs.push(Alloc::None);
+                    self.allocate(body);
+                    continue;
+                }
+            };
+            self.allocs.push(alloc);
+        }
+    }
+
+    fn emit(&mut self, cs: &[Construct], rank: usize, ops: &mut Vec<Op>) {
+        let max_ghz = self.machine.clock.max_ghz;
+        for c in cs {
+            let alloc = self.allocs[self.next];
+            self.next += 1;
+            match c {
+                Construct::DelayUs(us) => {
+                    if *us > 0.0 {
+                        ops.push(Op::Compute {
+                            cycles: delay_cycles(*us, max_ghz),
+                            class: CorunClass::Latency,
+                        });
+                    }
+                }
+                Construct::Compute { cycles, class } => {
+                    ops.push(Op::Compute {
+                        cycles: *cycles,
+                        class: *class,
+                    });
+                }
+                Construct::StreamBytes(b) => {
+                    ops.push(Op::MemStream { bytes: *b });
+                }
+                Construct::Barrier => {
+                    let Alloc::Barrier(b) = alloc else { unreachable!() };
+                    ops.push(Op::Barrier { obj: b });
+                }
+                Construct::Critical { body_us } | Construct::LockUnlock { body_us } => {
+                    let Alloc::Lock(l) = alloc else { unreachable!() };
+                    ops.push(Op::LockAcquire { obj: l });
+                    if *body_us > 0.0 {
+                        ops.push(Op::Compute {
+                            cycles: delay_cycles(*body_us, max_ghz),
+                            class: CorunClass::Latency,
+                        });
+                    }
+                    ops.push(Op::LockRelease { obj: l });
+                }
+                Construct::Atomic => {
+                    let Alloc::Atomic(a) = alloc else { unreachable!() };
+                    ops.push(Op::AtomicOp { obj: a });
+                }
+                Construct::Single { body_us } => {
+                    let Alloc::SingleWithBarrier(s, b) = alloc else {
+                        unreachable!()
+                    };
+                    ops.push(Op::Single {
+                        obj: s,
+                        body_cycles: delay_cycles(*body_us, max_ghz),
+                    });
+                    ops.push(Op::Barrier { obj: b });
+                }
+                Construct::Reduction { body_us } => {
+                    let Alloc::LockWithBarrier(l, b) = alloc else {
+                        unreachable!()
+                    };
+                    if *body_us > 0.0 {
+                        ops.push(Op::Compute {
+                            cycles: delay_cycles(*body_us, max_ghz),
+                            class: CorunClass::Latency,
+                        });
+                    }
+                    ops.push(Op::LockAcquire { obj: l });
+                    ops.push(Op::Busy {
+                        ns: self.combine_ns,
+                    });
+                    ops.push(Op::LockRelease { obj: l });
+                    ops.push(Op::Barrier { obj: b });
+                }
+                Construct::ParallelFor { .. } => {
+                    let Alloc::LoopWithBarrier(lp, bar) = alloc else {
+                        unreachable!()
+                    };
+                    ops.push(Op::ForLoop { obj: lp });
+                    if let Some(b) = bar {
+                        ops.push(Op::Barrier { obj: b });
+                    }
+                }
+                Construct::ParallelRegion { body } => {
+                    let Alloc::RegionBarriers(entry, exit) = alloc else {
+                        unreachable!()
+                    };
+                    ops.push(Op::Barrier { obj: entry });
+                    self.emit(body, rank, ops);
+                    ops.push(Op::Barrier { obj: exit });
+                }
+                Construct::Tasks {
+                    per_spawner,
+                    body_us,
+                    master_only,
+                } => {
+                    // Two allocations were made for this construct: the
+                    // pool + post-spawn barrier, then the final barrier.
+                    let Alloc::PoolWithBarrier(pool, after_spawn) = alloc else {
+                        unreachable!()
+                    };
+                    let fin = self.allocs[self.next];
+                    self.next += 1;
+                    let Alloc::Barrier(fin) = fin else { unreachable!() };
+                    if !master_only || rank == 0 {
+                        ops.push(Op::TaskSpawn {
+                            obj: pool,
+                            count: *per_spawner,
+                            body_cycles: delay_cycles(*body_us, max_ghz),
+                        });
+                    }
+                    // All spawns published before anyone drains: the
+                    // post-spawn barrier is the scheduling point.
+                    ops.push(Op::Barrier { obj: after_spawn });
+                    ops.push(Op::TaskWait { obj: pool });
+                    ops.push(Op::Barrier { obj: fin });
+                }
+                Construct::MarkBegin(k) => {
+                    if rank == 0 {
+                        ops.push(Op::Mark { marker: 2 * k });
+                    }
+                }
+                Construct::MarkEnd(k) => {
+                    if rank == 0 {
+                        ops.push(Op::Mark { marker: 2 * k + 1 });
+                    }
+                }
+                Construct::Repeat { count, body } => {
+                    ops.push(Op::LoopBegin { count: *count });
+                    self.emit(body, rank, ops);
+                    ops.push(Op::LoopEnd);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompvar_topology::Places;
+
+    fn small_runtime() -> SimRuntime {
+        let machine = MachineSpec::vera();
+        let config = RtConfig::pinned_close(Places::Threads(Some(8)));
+        SimRuntime::new(machine, config).with_params(SimParams::sterile())
+    }
+
+    #[test]
+    fn measured_region_produces_rep_times() {
+        let rt = small_runtime();
+        let region = RegionSpec::measured(8, 5, 10, vec![Construct::Barrier]);
+        let res = rt.run(&region, 1);
+        assert_eq!(res.reps().len(), 5);
+        assert!(res.reps().iter().all(|&r| r > 0.0));
+        assert!(res.wall_us > 0.0);
+    }
+
+    #[test]
+    fn sterile_runs_are_identical_and_stable() {
+        let rt = small_runtime();
+        let region = RegionSpec::measured(8, 6, 10, vec![Construct::Reduction { body_us: 0.1 }]);
+        let a = rt.run(&region, 1);
+        let b = rt.run(&region, 2);
+        // With no noise, different seeds give identical results.
+        assert_eq!(a.reps(), b.reps());
+        // And repetitions are essentially constant.
+        let reps = a.reps();
+        let spread = reps.iter().cloned().fold(f64::MIN, f64::max)
+            / reps.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1.01, "sterile spread {spread}");
+    }
+
+    #[test]
+    fn reduction_costs_more_than_barrier() {
+        let rt = small_runtime();
+        let bar = RegionSpec::measured(8, 3, 20, vec![Construct::Barrier]);
+        let red = RegionSpec::measured(8, 3, 20, vec![Construct::Reduction { body_us: 0.1 }]);
+        let tb = rt.run(&bar, 1).reps()[1];
+        let tr = rt.run(&red, 1).reps()[1];
+        assert!(tr > tb, "reduction {tr} vs barrier {tb}");
+    }
+
+    #[test]
+    fn schedbench_style_loop_runs() {
+        let rt = small_runtime();
+        let region = RegionSpec::measured(
+            8,
+            3,
+            1,
+            vec![Construct::ParallelFor {
+                schedule: Schedule::Dynamic { chunk: 1 },
+                total_iters: 8 * 128,
+                body_us: 15.0,
+                ordered_us: None,
+                nowait: false,
+            }],
+        );
+        let res = rt.run(&region, 7);
+        // 128 iters/thread × ~15.9 µs ≈ 2 ms per rep.
+        for &r in res.reps() {
+            assert!(r > 1_500.0 && r < 3_500.0, "rep {r} µs");
+        }
+    }
+
+    #[test]
+    fn unbound_config_still_completes() {
+        let machine = MachineSpec::vera();
+        let rt = SimRuntime::new(machine, RtConfig::unbound())
+            .with_params(SimParams::sterile());
+        let region = RegionSpec::measured(8, 3, 5, vec![Construct::Barrier]);
+        let res = rt.run(&region, 3);
+        assert_eq!(res.reps().len(), 3);
+    }
+
+    #[test]
+    fn freq_logger_collects_samples() {
+        let machine = MachineSpec::vera();
+        let config = RtConfig::pinned_close(Places::Threads(Some(8)));
+        let rt = SimRuntime::new(machine, config)
+            .with_params(SimParams::sterile())
+            .with_freq_logger(FreqLoggerCfg {
+                cpu: Some(31),
+                period: 100 * US,
+                cost: 0,
+            });
+        let region =
+            RegionSpec::measured(8, 3, 3, vec![Construct::DelayUs(100.0), Construct::Barrier]);
+        let res = rt.run(&region, 1);
+        assert!(!res.freq_samples.is_empty());
+    }
+
+    #[test]
+    fn parallel_region_adds_overhead() {
+        let rt = small_runtime();
+        let plain = RegionSpec::measured(8, 3, 10, vec![Construct::DelayUs(1.0)]);
+        let wrapped = RegionSpec::measured(
+            8,
+            3,
+            10,
+            vec![Construct::ParallelRegion {
+                body: vec![Construct::DelayUs(1.0)],
+            }],
+        );
+        let tp = rt.run(&plain, 1).reps()[1];
+        let tw = rt.run(&wrapped, 1).reps()[1];
+        assert!(tw > tp, "wrapped {tw} vs plain {tp}");
+    }
+}

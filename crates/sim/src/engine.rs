@@ -1,0 +1,1652 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the machine state (per-hardware-thread run queues, per
+//! socket DVFS state, per-NUMA-domain memory contention), the task table
+//! and the sync-object table, and processes events in virtual-time order.
+//!
+//! # Execution model
+//!
+//! Every hardware thread (CPU) runs at most one task at a time. Kernel
+//! (noise) tasks preempt user tasks immediately and run to completion,
+//! FIFO. Multiple user tasks on one CPU share it in round-robin quanta —
+//! this is how an oversubscribed, unpinned run degrades. Tasks waiting on
+//! sync objects *spin*: they keep occupying their CPU (slowing an SMT
+//! sibling, keeping the core "active" for DVFS) but make no progress, like
+//! an OpenMP runtime with an active wait policy.
+//!
+//! Work in progress is repriced whenever its rate changes (frequency
+//! retarget, SMT sibling state change, memory-bandwidth contention
+//! change, preemption): the engine accounts the elapsed progress, bumps
+//! the CPU's event token to invalidate the stale boundary event, and
+//! schedules a fresh one.
+
+use crate::events::{EventKind, EventQueue};
+use crate::params::{NoisePlacement, SimParams};
+use crate::rng::Rng;
+use crate::sync::{AtomicObj, BarrierObj, LockObj, LoopObj, LoopSpec, SingleObj, SyncObj, TaskPoolObj};
+use crate::task::{
+    CorunClass, MicroOp, ObjId, Op, Program, Task, TaskId, TaskKind, TaskState, Timed, WaitKind,
+};
+use crate::time::{from_ns_f64, Time};
+use crate::trace::{Counters, FreqSample, MarkerRecord, SimReport};
+use ompvar_topology::{HwThreadId, MachineSpec, Place};
+use std::collections::VecDeque;
+
+/// Per-hardware-thread scheduler state.
+#[derive(Debug)]
+struct Cpu {
+    /// Task currently on the CPU (running or spin-waiting).
+    running: Option<TaskId>,
+    /// Kernel tasks awaiting the CPU (FIFO, run before any user task).
+    kq: VecDeque<TaskId>,
+    /// User tasks awaiting the CPU (round-robin).
+    uq: VecDeque<TaskId>,
+    /// Generation token invalidating scheduled boundary events.
+    token: u64,
+    /// Generation token invalidating scheduled timer ticks.
+    tick_token: u64,
+    /// End of the current user quantum.
+    quantum_end: Time,
+    /// Last time the running task's progress was accounted.
+    since: Time,
+    /// NUMA domain this CPU is currently streaming against (cache of
+    /// membership in `DomainState::streamers`).
+    streaming: Option<usize>,
+}
+
+impl Cpu {
+    fn new() -> Self {
+        Cpu {
+            running: None,
+            kq: VecDeque::new(),
+            uq: VecDeque::new(),
+            token: 0,
+            tick_token: 0,
+            quantum_end: 0,
+            since: 0,
+            streaming: None,
+        }
+    }
+
+    fn load(&self) -> usize {
+        self.kq.len() + self.uq.len() + usize::from(self.running.is_some())
+    }
+}
+
+/// Per-socket DVFS state.
+#[derive(Debug)]
+struct Socket {
+    /// Cores of this socket with at least one busy hardware thread.
+    active_cores: usize,
+    /// Frequency currently applied to the socket's busy cores (GHz).
+    applied_ghz: f64,
+    /// Whether a droop pulse is currently in effect.
+    pulse_active: bool,
+    /// Token invalidating scheduled pulse events.
+    pulse_token: u64,
+    /// Whether a pulse chain is currently scheduled.
+    pulse_armed: bool,
+    /// Dedicated random stream for this socket's pulse process.
+    rng: Rng,
+}
+
+/// Per-NUMA-domain memory state.
+#[derive(Debug, Default)]
+struct Domain {
+    /// CPUs currently running a memory-stream micro-op whose data lives
+    /// in this domain.
+    streamers: Vec<usize>,
+}
+
+/// One arrival process of a noise source.
+#[derive(Debug)]
+struct NoiseStream {
+    /// Index into `params.noise.sources`.
+    source: usize,
+    /// Fixed CPU for per-CPU sources.
+    cpu: Option<usize>,
+    /// Dedicated random stream.
+    rng: Rng,
+}
+
+/// Frequency-logger configuration.
+#[derive(Debug, Clone)]
+struct LoggerCfg {
+    /// CPU that hosts the logger process (its sampling cost runs there);
+    /// `None` = a free-floating observer without CPU cost.
+    cpu: Option<usize>,
+    /// Sampling period.
+    period: Time,
+    /// CPU time consumed per sample.
+    cost: Time,
+}
+
+/// The simulator.
+pub struct Simulator {
+    machine: MachineSpec,
+    params: SimParams,
+    now: Time,
+    queue: EventQueue,
+    tasks: Vec<Task>,
+    objs: Vec<SyncObj>,
+    cpus: Vec<Cpu>,
+    sockets: Vec<Socket>,
+    domains: Vec<Domain>,
+    /// Busy hardware-thread count per physical core.
+    core_busy: Vec<u8>,
+    noise_streams: Vec<NoiseStream>,
+    kernel_freelist: Vec<TaskId>,
+    rng_place: Rng,
+    rng_balance: Rng,
+    logger: Option<LoggerCfg>,
+    users_remaining: usize,
+    user_tasks: Vec<TaskId>,
+    markers: Vec<MarkerRecord>,
+    freq_samples: Vec<FreqSample>,
+    counters: Counters,
+    started: bool,
+}
+
+impl Simulator {
+    /// Create a simulator for `machine` with model parameters `params`,
+    /// fully determined by `seed`.
+    pub fn new(machine: MachineSpec, params: SimParams, seed: u64) -> Self {
+        let root = Rng::new(seed);
+        let n_cpu = machine.n_hw_threads();
+        let sockets = (0..machine.sockets)
+            .map(|s| Socket {
+                active_cores: 0,
+                applied_ghz: machine.clock.max_ghz,
+                pulse_active: false,
+                pulse_token: 0,
+                pulse_armed: false,
+                rng: root.fork("socket-freq", s as u64),
+            })
+            .collect();
+        let mut noise_streams = Vec::new();
+        for (si, src) in params.noise.sources.iter().enumerate() {
+            match src.placement {
+                NoisePlacement::PerCpu => {
+                    for c in 0..n_cpu {
+                        noise_streams.push(NoiseStream {
+                            source: si,
+                            cpu: Some(c),
+                            rng: root.fork("noise", (si * n_cpu + c) as u64),
+                        });
+                    }
+                }
+                NoisePlacement::LeastLoaded | NoisePlacement::RandomCpu => {
+                    noise_streams.push(NoiseStream {
+                        source: si,
+                        cpu: None,
+                        rng: root.fork("noise-global", si as u64),
+                    });
+                }
+            }
+        }
+        Simulator {
+            cpus: (0..n_cpu).map(|_| Cpu::new()).collect(),
+            sockets,
+            domains: (0..machine.n_numa()).map(|_| Domain::default()).collect(),
+            core_busy: vec![0; machine.n_cores()],
+            noise_streams,
+            kernel_freelist: Vec::new(),
+            rng_place: root.fork("place", 0),
+            rng_balance: root.fork("balance", 0),
+            logger: None,
+            users_remaining: 0,
+            user_tasks: Vec::new(),
+            markers: Vec::new(),
+            freq_samples: Vec::new(),
+            counters: Counters::default(),
+            started: false,
+            machine,
+            params,
+            now: 0,
+            queue: EventQueue::new(),
+            tasks: Vec::new(),
+            objs: Vec::new(),
+        }
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// The model parameters in effect.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    // ------------------------------------------------------------------
+    // Construction API
+    // ------------------------------------------------------------------
+
+    /// Register a barrier for a team of `n`; `span_factor` scales its
+    /// contention costs with the team's topology spread.
+    pub fn add_barrier(&mut self, n: usize, span_factor: f64) -> ObjId {
+        self.push_obj(SyncObj::Barrier(BarrierObj::new(n, span_factor)))
+    }
+
+    /// Register a lock.
+    pub fn add_lock(&mut self, span_factor: f64) -> ObjId {
+        self.push_obj(SyncObj::Lock(LockObj::new(span_factor)))
+    }
+
+    /// Register a contended-atomic object.
+    pub fn add_atomic(&mut self, span_factor: f64) -> ObjId {
+        self.push_obj(SyncObj::Atomic(AtomicObj::new(span_factor)))
+    }
+
+    /// Register a `single` tracker for a team of `n`.
+    pub fn add_single(&mut self, n: usize) -> ObjId {
+        self.push_obj(SyncObj::Single(SingleObj::new(n)))
+    }
+
+    /// Register a work-shared loop.
+    pub fn add_loop(&mut self, spec: LoopSpec) -> ObjId {
+        self.push_obj(SyncObj::Loop(LoopObj::new(spec)))
+    }
+
+    /// Register an explicit-task pool for a team of `participants` with
+    /// `spawners` concurrent producers.
+    pub fn add_task_pool(
+        &mut self,
+        span_factor: f64,
+        participants: usize,
+        spawners: usize,
+    ) -> ObjId {
+        self.push_obj(SyncObj::TaskPool(TaskPoolObj::new(
+            span_factor,
+            participants,
+            spawners,
+        )))
+    }
+
+    fn push_obj(&mut self, obj: SyncObj) -> ObjId {
+        assert!(!self.started, "objects must be registered before run()");
+        let id = ObjId(self.objs.len() as u32);
+        self.objs.push(obj);
+        id
+    }
+
+    /// Spawn a user task with team `rank`, executing `program`, pinned to
+    /// `pin` (or unbound when `None`). All user tasks start at time 0.
+    pub fn spawn_user(&mut self, rank: usize, program: Program, pin: Option<Place>) -> TaskId {
+        assert!(!self.started, "tasks must be spawned before run()");
+        if let Some(p) = &pin {
+            for &h in p.hw_threads() {
+                assert!(h.0 < self.cpus.len(), "pin beyond machine size");
+            }
+        }
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks
+            .push(Task::new(id, TaskKind::User, rank, program, pin));
+        self.users_remaining += 1;
+        self.user_tasks.push(id);
+        id
+    }
+
+    /// Enable the frequency logger: samples every `period`, optionally
+    /// consuming `cost` CPU time on `cpu` per sample (mirroring the
+    /// paper's Python logger on a spare core).
+    pub fn enable_freq_logger(&mut self, cpu: Option<usize>, period: Time, cost: Time) {
+        assert!(period > 0);
+        self.logger = Some(LoggerCfg { cpu, period, cost });
+    }
+
+    // ------------------------------------------------------------------
+    // Rates and pricing
+    // ------------------------------------------------------------------
+
+    fn socket_of_cpu(&self, cpu: usize) -> usize {
+        self.machine.socket_of(HwThreadId(cpu)).0
+    }
+
+    fn numa_of_cpu(&self, cpu: usize) -> usize {
+        self.machine.numa_of(HwThreadId(cpu)).0
+    }
+
+    fn ghz(&self, cpu: usize) -> f64 {
+        self.sockets[self.socket_of_cpu(cpu)].applied_ghz
+    }
+
+    fn sibling_busy(&self, cpu: usize) -> bool {
+        self.machine
+            .siblings_of(HwThreadId(cpu))
+            .iter()
+            .any(|s| self.cpus[s.0].running.is_some())
+    }
+
+    /// Progress rate of the given timed micro-op on `cpu`, in
+    /// progress-units per nanosecond.
+    fn rate(&self, cpu: usize, timed: &Timed, home_numa: Option<usize>) -> f64 {
+        match timed {
+            Timed::Cycles { class, .. } => {
+                let mut ghz = self.ghz(cpu);
+                if self.sibling_busy(cpu) {
+                    ghz *= self.params.smt.factor(*class);
+                }
+                ghz // cycles per ns
+            }
+            // Fixed-duration work is specified in "nanoseconds at maximum
+            // frequency": synchronization costs (cache-line transfers,
+            // spin handoffs) and kernel work all run at core clock and
+            // stretch when the core droops.
+            Timed::Ns { .. } | Timed::AtomicNs { .. } => {
+                self.ghz(cpu) / self.machine.clock.max_ghz
+            }
+            Timed::Bytes { .. } => {
+                let home = home_numa.unwrap_or_else(|| self.numa_of_cpu(cpu));
+                let n_acc = self.domains[home].streamers.len().max(1);
+                let mem = &self.machine.memory;
+                let share = mem.local_bw_gbs / n_acc as f64;
+                let mut gbs = share.min(self.params.mem.per_core_bw_gbs);
+                if self.numa_of_cpu(cpu) != home {
+                    gbs *= mem.remote_bw_factor;
+                }
+                let s = self.params.mem.stream_freq_sensitivity;
+                gbs *= (1.0 - s) + s * self.ghz(cpu) / self.machine.clock.max_ghz;
+                gbs // GB/s == bytes/ns
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting and event scheduling
+    // ------------------------------------------------------------------
+
+    /// Account the running task's progress on `cpu` up to `self.now` and
+    /// invalidate its scheduled boundary.
+    fn touch(&mut self, cpu: usize) {
+        self.cpus[cpu].token += 1;
+        let Some(tid) = self.cpus[cpu].running else {
+            self.cpus[cpu].since = self.now;
+            return;
+        };
+        let elapsed = self.now.saturating_sub(self.cpus[cpu].since);
+        self.cpus[cpu].since = self.now;
+        if elapsed == 0 {
+            return;
+        }
+        // Split borrows: rate() needs &self, so compute it before the
+        // mutable borrow of the task.
+        let (is_waiting, current, home) = {
+            let t = &self.tasks[tid.0 as usize];
+            (
+                matches!(t.state, TaskState::Waiting(_)),
+                t.current,
+                t.home_numa,
+            )
+        };
+        if is_waiting {
+            self.tasks[tid.0 as usize].stats.wait_time += elapsed;
+            return;
+        }
+        let mut budget = elapsed as f64;
+        // Pending overheads are denominated in max-frequency nanoseconds
+        // and are consumed at the core's current clock ratio.
+        let nrate = self.ghz(cpu) / self.machine.clock.max_ghz;
+        {
+            let t = &mut self.tasks[tid.0 as usize];
+            t.stats.busy_time += elapsed;
+            if t.pending_overhead_ns > 0.0 {
+                let consumable = budget * nrate;
+                let used = t.pending_overhead_ns.min(consumable);
+                t.pending_overhead_ns -= used;
+                budget -= used / nrate;
+                if t.pending_overhead_ns > 1e-9 {
+                    return;
+                }
+                t.pending_overhead_ns = 0.0;
+            }
+        }
+        if budget <= 0.0 {
+            return;
+        }
+        let Some(cur) = current else { return };
+        let rate = self.rate(cpu, &cur, home);
+        let done = budget * rate;
+        let t = &mut self.tasks[tid.0 as usize];
+        if let Some(cur) = &mut t.current {
+            let rem = match cur {
+                Timed::Cycles { rem, .. }
+                | Timed::Ns { rem }
+                | Timed::Bytes { rem }
+                | Timed::AtomicNs { rem, .. } => rem,
+            };
+            *rem -= done;
+            if *rem < 1e-9 {
+                *rem = 0.0;
+            }
+        }
+    }
+
+    /// Schedule the next boundary event for `cpu` given its current state.
+    fn schedule_boundary(&mut self, cpu: usize) {
+        let Some(tid) = self.cpus[cpu].running else {
+            return;
+        };
+        let t = &self.tasks[tid.0 as usize];
+        let mut next: Option<Time> = None;
+        if !matches!(t.state, TaskState::Waiting(_)) {
+            let mut ns =
+                t.pending_overhead_ns * self.machine.clock.max_ghz / self.ghz(cpu);
+            if let Some(cur) = &t.current {
+                let rem = match cur {
+                    Timed::Cycles { rem, .. }
+                    | Timed::Ns { rem }
+                    | Timed::Bytes { rem }
+                    | Timed::AtomicNs { rem, .. } => *rem,
+                };
+                ns += rem / self.rate(cpu, cur, t.home_numa);
+            } else if ns <= 0.0 {
+                // Nothing timed in flight. This is either a finished
+                // task, or a *mid-advance transient*: a nested wake (e.g.
+                // a barrier release inside this task's own advance())
+                // repriced this CPU before the task installed its next
+                // timed micro-op. Scheduling nothing is correct in both
+                // cases — the in-progress advance()'s caller reschedules
+                // with the freshly bumped token.
+                return;
+            }
+            next = Some(self.now + from_ns_f64(ns));
+        }
+        // Quantum rotation if user tasks are queued behind.
+        if t.kind == TaskKind::User && !self.cpus[cpu].uq.is_empty() {
+            let q = self.cpus[cpu].quantum_end.max(self.now + 1);
+            next = Some(next.map_or(q, |n| n.min(q)));
+        }
+        if let Some(time) = next {
+            let token = self.cpus[cpu].token;
+            self.queue.push(time, EventKind::CpuBoundary { cpu, token });
+        }
+    }
+
+    /// Update the streaming-membership cache of `cpu` and reprice peers
+    /// when domain contention changes.
+    fn sync_stream(&mut self, cpu: usize) {
+        let desired = match self.cpus[cpu].running {
+            Some(tid) => {
+                let t = &self.tasks[tid.0 as usize];
+                match (&t.state, &t.current) {
+                    (TaskState::Waiting(_), _) => None,
+                    (_, Some(Timed::Bytes { .. })) => {
+                        Some(t.home_numa.unwrap_or_else(|| self.numa_of_cpu(cpu)))
+                    }
+                    _ => None,
+                }
+            }
+            None => None,
+        };
+        let cached = self.cpus[cpu].streaming;
+        if desired == cached {
+            return;
+        }
+        // Account every affected peer's progress *before* the accessor
+        // sets change: their elapsed streaming ran at the old contention
+        // level, and `touch` prices with the current set.
+        let mut affected = Vec::new();
+        if let Some(d) = cached {
+            affected.extend(self.domains[d].streamers.iter().copied().filter(|&c| c != cpu));
+        }
+        if let Some(d) = desired {
+            affected.extend(self.domains[d].streamers.iter().copied().filter(|&c| c != cpu));
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        for &peer in &affected {
+            self.touch(peer);
+        }
+        if let Some(d) = cached {
+            let dom = &mut self.domains[d];
+            if let Some(pos) = dom.streamers.iter().position(|&c| c == cpu) {
+                dom.streamers.swap_remove(pos);
+            }
+        }
+        if let Some(d) = desired {
+            self.domains[d].streamers.push(cpu);
+        }
+        self.cpus[cpu].streaming = desired;
+        for peer in affected {
+            self.schedule_boundary(peer);
+        }
+    }
+
+    /// Install `tid` (or nothing) as the running task of `cpu`, keeping
+    /// the busy bookkeeping (core activity → DVFS, ticks, SMT sibling
+    /// rates) coherent.
+    fn set_running(&mut self, cpu: usize, tid: Option<TaskId>) {
+        let was_busy = self.cpus[cpu].running.is_some();
+        self.cpus[cpu].running = tid;
+        self.cpus[cpu].since = self.now;
+        if let Some(t) = tid {
+            self.tasks[t.0 as usize].cpu = cpu;
+            if self.tasks[t.0 as usize].home_numa.is_none() {
+                self.tasks[t.0 as usize].home_numa = Some(self.numa_of_cpu(cpu));
+            }
+            if self.tasks[t.0 as usize].kind == TaskKind::User {
+                self.cpus[cpu].quantum_end = self.now + self.params.sched.quantum;
+            }
+        }
+        let is_busy = self.cpus[cpu].running.is_some();
+        if was_busy != is_busy {
+            let core = self.machine.core_of(HwThreadId(cpu)).0;
+            let socket = self.socket_of_cpu(cpu);
+            if is_busy {
+                self.core_busy[core] += 1;
+                if self.core_busy[core] == 1 {
+                    self.sockets[socket].active_cores += 1;
+                    self.queue.push(
+                        self.now + self.params.freq.reaction_latency,
+                        EventKind::FreqReeval { socket },
+                    );
+                }
+                // Start the tick chain (disabled entirely when ticks are
+                // free, e.g. under sterile parameters).
+                self.cpus[cpu].tick_token += 1;
+                if self.params.sched.tick_cost > 0 {
+                    let token = self.cpus[cpu].tick_token;
+                    self.queue.push(
+                        self.now + self.params.sched.tick_period,
+                        EventKind::TimerTick { cpu, token },
+                    );
+                }
+            } else {
+                self.core_busy[core] -= 1;
+                if self.core_busy[core] == 0 {
+                    self.sockets[socket].active_cores -= 1;
+                    self.queue.push(
+                        self.now + self.params.freq.reaction_latency,
+                        EventKind::FreqReeval { socket },
+                    );
+                }
+                self.cpus[cpu].tick_token += 1; // cancel ticks
+            }
+            // SMT sibling rate changed.
+            for sib in self.machine.siblings_of(HwThreadId(cpu)) {
+                if self.cpus[sib.0].running.is_some() {
+                    self.touch(sib.0);
+                    self.schedule_boundary(sib.0);
+                }
+            }
+        }
+    }
+
+    /// Pick and start the next task on an idle `cpu`, advance it as far
+    /// as possible, and schedule its boundary.
+    fn commit(&mut self, cpu: usize) {
+        if self.cpus[cpu].running.is_none() {
+            let next = if let Some(k) = self.cpus[cpu].kq.pop_front() {
+                Some(k)
+            } else {
+                self.cpus[cpu].uq.pop_front()
+            };
+            if let Some(t) = next {
+                self.set_running(cpu, Some(t));
+            }
+        }
+        if let Some(tid) = self.cpus[cpu].running {
+            let t = &self.tasks[tid.0 as usize];
+            if t.state == TaskState::Runnable && t.current.is_none() {
+                self.advance(tid);
+            }
+        }
+        self.sync_stream(cpu);
+        self.schedule_boundary(cpu);
+    }
+
+    // ------------------------------------------------------------------
+    // The op interpreter
+    // ------------------------------------------------------------------
+
+    /// Drive `tid` (which must be the running task of its CPU, with no
+    /// timed micro-op in flight) until it starts a timed micro-op, blocks,
+    /// or finishes.
+    fn advance(&mut self, tid: TaskId) {
+        let ti = tid.0 as usize;
+        loop {
+            debug_assert!(self.tasks[ti].current.is_none());
+            debug_assert_eq!(self.tasks[ti].state, TaskState::Runnable);
+            let Some(micro) = self.tasks[ti].micro.pop_front() else {
+                if !self.expand_next_op(tid) {
+                    self.finish_task(tid);
+                    return;
+                }
+                continue;
+            };
+            match micro {
+                MicroOp::Timed(t) => {
+                    let rem = match &t {
+                        Timed::Cycles { rem, .. }
+                        | Timed::Ns { rem }
+                        | Timed::Bytes { rem }
+                        | Timed::AtomicNs { rem, .. } => *rem,
+                    };
+                    if rem <= 0.0 {
+                        if let Timed::AtomicNs { obj, .. } = t {
+                            self.atomic_done(obj);
+                        }
+                        continue;
+                    }
+                    self.tasks[ti].current = Some(t);
+                    return;
+                }
+                MicroOp::Mark(marker) => {
+                    self.markers.push(MarkerRecord {
+                        time: self.now,
+                        task: tid,
+                        marker,
+                    });
+                }
+                MicroOp::BarrierArrive(obj) => {
+                    if self.barrier_arrive(tid, obj) {
+                        return; // blocked (spinning)
+                    }
+                }
+                MicroOp::LockAcquire(obj) => {
+                    let cpu = self.tasks[ti].cpu;
+                    let SyncObj::Lock(l) = &mut self.objs[obj.0 as usize] else {
+                        panic!("LockAcquire on non-lock object");
+                    };
+                    if l.acquire(tid) {
+                        let cost = self.params.sync.lock_ns * l.span_factor;
+                        self.tasks[ti].pending_overhead_ns += cost;
+                        let _ = cpu;
+                    } else {
+                        self.tasks[ti].state = TaskState::Waiting(WaitKind::Lock(obj));
+                        return;
+                    }
+                }
+                MicroOp::LockRelease(obj) => {
+                    let SyncObj::Lock(l) = &mut self.objs[obj.0 as usize] else {
+                        panic!("LockRelease on non-lock object");
+                    };
+                    let span = l.span_factor;
+                    if let Some(next) = l.release(tid) {
+                        let cost = self.params.sync.lock_ns * span;
+                        self.wake(next, cost);
+                    }
+                }
+                MicroOp::AtomicStart(obj) => {
+                    let SyncObj::Atomic(a) = &mut self.objs[obj.0 as usize] else {
+                        panic!("AtomicStart on non-atomic object");
+                    };
+                    let cost = self.params.sync.atomic_ns
+                        + self.params.sync.atomic_contention_ns
+                            * a.active as f64
+                            * a.span_factor;
+                    a.active += 1;
+                    self.tasks[ti]
+                        .micro
+                        .push_front(MicroOp::Timed(Timed::AtomicNs { rem: cost, obj }));
+                }
+                MicroOp::GrabChunk(obj) => {
+                    self.grab_chunk(tid, obj);
+                }
+                MicroOp::WaitTicket { obj, iter } => {
+                    let SyncObj::Loop(l) = &mut self.objs[obj.0 as usize] else {
+                        panic!("WaitTicket on non-loop object");
+                    };
+                    if !l.ticket_ready(iter) {
+                        l.ordered_waiters.push((iter, tid));
+                        self.tasks[ti].state =
+                            TaskState::Waiting(WaitKind::Ticket { obj, iter });
+                        return;
+                    }
+                }
+                MicroOp::TicketDone { obj } => {
+                    let SyncObj::Loop(l) = &mut self.objs[obj.0 as usize] else {
+                        panic!("TicketDone on non-loop object");
+                    };
+                    let woken = l.ticket_advance();
+                    if let Some(w) = woken {
+                        let cost = self.params.sync.ordered_ns;
+                        self.wake(w, cost);
+                    }
+                }
+                MicroOp::TaskSpawnOne { obj, body_cycles } => {
+                    let SyncObj::TaskPool(p) = &mut self.objs[obj.0 as usize] else {
+                        panic!("TaskSpawnOne on non-pool object");
+                    };
+                    // The task queue is a central, lock-protected
+                    // structure (libgomp's team task lock): with k
+                    // concurrent producers, each enqueue effectively waits
+                    // behind k−1 others — modeled as k × the contended
+                    // unit cost (an M/D/1-style full-contention bound).
+                    let k = p.spawners as f64;
+                    let cost = k
+                        * (self.params.sync.task_spawn_ns
+                            + self.params.sync.atomic_contention_ns * (k - 1.0))
+                        * p.span_factor;
+                    p.spawn(body_cycles);
+                    self.tasks[ti].pending_overhead_ns += cost;
+                }
+                MicroOp::TaskExecOrWait { obj } => {
+                    let SyncObj::TaskPool(p) = &mut self.objs[obj.0 as usize] else {
+                        panic!("TaskExecOrWait on non-pool object");
+                    };
+                    match p.steal() {
+                        Some(cycles) => {
+                            // Steals serialize through the same central
+                            // lock: the whole team contends during the
+                            // drain phase.
+                            let k = p.participants as f64;
+                            let dispatch = k
+                                * (self.params.sync.task_dispatch_ns
+                                    + self.params.sync.atomic_contention_ns * (k - 1.0))
+                                * p.span_factor;
+                            let t = &mut self.tasks[ti];
+                            t.pending_overhead_ns += dispatch;
+                            t.micro.push_front(MicroOp::TaskExecOrWait { obj });
+                            t.micro.push_front(MicroOp::TaskDone { obj });
+                            t.micro.push_front(MicroOp::Timed(Timed::Cycles {
+                                rem: cycles,
+                                class: CorunClass::Latency,
+                            }));
+                        }
+                        None => {
+                            if p.outstanding > 0 {
+                                p.waiters.push(tid);
+                                self.tasks[ti].state =
+                                    TaskState::Waiting(WaitKind::TaskPool(obj));
+                                return;
+                            }
+                            // Pool fully drained: proceed.
+                        }
+                    }
+                }
+                MicroOp::TaskDone { obj } => {
+                    let SyncObj::TaskPool(p) = &mut self.objs[obj.0 as usize] else {
+                        panic!("TaskDone on non-pool object");
+                    };
+                    let woken = p.complete();
+                    let cost = self.params.sync.lock_ns;
+                    for w in woken {
+                        self.wake(w, cost);
+                    }
+                }
+                MicroOp::SingleTry { obj, body_cycles } => {
+                    let SyncObj::Single(s) = &mut self.objs[obj.0 as usize] else {
+                        panic!("SingleTry on non-single object");
+                    };
+                    if s.enter() {
+                        if body_cycles > 0.0 {
+                            self.tasks[ti].micro.push_front(MicroOp::Timed(Timed::Cycles {
+                                rem: body_cycles,
+                                class: CorunClass::Latency,
+                            }));
+                        }
+                    } else {
+                        self.tasks[ti].pending_overhead_ns += self.params.sync.single_ns;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Expand the op at `pc` into micro-ops. Returns `false` when the
+    /// program has ended.
+    fn expand_next_op(&mut self, tid: TaskId) -> bool {
+        let ti = tid.0 as usize;
+        loop {
+            let pc = self.tasks[ti].pc;
+            if pc >= self.tasks[ti].program.ops().len() {
+                return false;
+            }
+            let op = self.tasks[ti].program.ops()[pc];
+            match op {
+                Op::LoopBegin { count } => {
+                    self.tasks[ti]
+                        .frames
+                        .push(crate::task::LoopFrame {
+                            begin_pc: pc,
+                            remaining: count - 1,
+                        });
+                    self.tasks[ti].pc += 1;
+                    continue;
+                }
+                Op::LoopEnd => {
+                    let frame = self
+                        .tasks[ti]
+                        .frames
+                        .last_mut()
+                        .expect("LoopEnd without frame");
+                    if frame.remaining > 0 {
+                        frame.remaining -= 1;
+                        let back = frame.begin_pc + 1;
+                        self.tasks[ti].pc = back;
+                    } else {
+                        self.tasks[ti].frames.pop();
+                        self.tasks[ti].pc += 1;
+                    }
+                    continue;
+                }
+                Op::Compute { cycles, class } => {
+                    self.tasks[ti]
+                        .micro
+                        .push_back(MicroOp::Timed(Timed::Cycles { rem: cycles, class }));
+                }
+                Op::Busy { ns } => {
+                    self.tasks[ti]
+                        .micro
+                        .push_back(MicroOp::Timed(Timed::Ns { rem: ns }));
+                }
+                Op::MemStream { bytes } => {
+                    self.tasks[ti]
+                        .micro
+                        .push_back(MicroOp::Timed(Timed::Bytes { rem: bytes }));
+                }
+                Op::Mark { marker } => {
+                    self.tasks[ti].micro.push_back(MicroOp::Mark(marker));
+                }
+                Op::Barrier { obj } => {
+                    let (n, span) = match &self.objs[obj.0 as usize] {
+                        SyncObj::Barrier(b) => (b.n, b.span_factor),
+                        _ => panic!("Barrier op on non-barrier object"),
+                    };
+                    let arrive = self.params.sync.barrier_arrive_ns
+                        + self.params.sync.barrier_arrive_per_thread_ns
+                            * (n.saturating_sub(1)) as f64
+                            * span;
+                    self.tasks[ti]
+                        .micro
+                        .push_back(MicroOp::Timed(Timed::Ns { rem: arrive }));
+                    self.tasks[ti].micro.push_back(MicroOp::BarrierArrive(obj));
+                }
+                Op::LockAcquire { obj } => {
+                    self.tasks[ti].micro.push_back(MicroOp::LockAcquire(obj));
+                }
+                Op::LockRelease { obj } => {
+                    self.tasks[ti].micro.push_back(MicroOp::LockRelease(obj));
+                }
+                Op::AtomicOp { obj } => {
+                    self.tasks[ti].micro.push_back(MicroOp::AtomicStart(obj));
+                }
+                Op::ForLoop { obj } => {
+                    self.tasks[ti].micro.push_back(MicroOp::GrabChunk(obj));
+                }
+                Op::Single { obj, body_cycles } => {
+                    self.tasks[ti]
+                        .micro
+                        .push_back(MicroOp::SingleTry { obj, body_cycles });
+                }
+                Op::TaskSpawn {
+                    obj,
+                    count,
+                    body_cycles,
+                } => {
+                    for _ in 0..count {
+                        self.tasks[ti]
+                            .micro
+                            .push_back(MicroOp::TaskSpawnOne { obj, body_cycles });
+                    }
+                }
+                Op::TaskWait { obj } => {
+                    self.tasks[ti].micro.push_back(MicroOp::TaskExecOrWait { obj });
+                }
+            }
+            self.tasks[ti].pc += 1;
+            return true;
+        }
+    }
+
+    /// Handle a chunk grab for `tid` on loop `obj`, pushing the dispatch
+    /// cost and the body work as micro-ops.
+    fn grab_chunk(&mut self, tid: TaskId, obj: ObjId) {
+        let ti = tid.0 as usize;
+        let rank = self.tasks[ti].rank;
+        let (mut lgen, mut lpos) = (self.tasks[ti].loop_gen, self.tasks[ti].loop_pos);
+        let SyncObj::Loop(l) = &mut self.objs[obj.0 as usize] else {
+            panic!("GrabChunk on non-loop object");
+        };
+        let grab = l.grab(rank, &mut lgen, &mut lpos);
+        self.tasks[ti].loop_gen = lgen;
+        self.tasks[ti].loop_pos = lpos;
+        let SyncObj::Loop(l) = &self.objs[obj.0 as usize] else {
+            unreachable!()
+        };
+        match grab {
+            None => {
+                let SyncObj::Loop(l) = &mut self.objs[obj.0 as usize] else {
+                    unreachable!()
+                };
+                l.observe_exhausted();
+                // Loop op done; fall through to the next micro/op.
+            }
+            Some(g) => {
+                let sync = &self.params.sync;
+                let per_grab = match l.spec.schedule {
+                    crate::sync::LoopSchedule::Static { .. } => sync.static_grab_ns,
+                    crate::sync::LoopSchedule::Dynamic { .. }
+                    | crate::sync::LoopSchedule::Guided { .. } => {
+                        sync.atomic_ns
+                            + sync.atomic_contention_ns
+                                * l.active().saturating_sub(1) as f64
+                                * l.spec.span_factor
+                    }
+                };
+                let dispatch = per_grab * g.n_grabs as f64;
+                let body_cycles = l.spec.body_cycles;
+                let body_class = l.spec.body_class;
+                let ordered = l.spec.ordered_section_ns;
+                let t = &mut self.tasks[ti];
+                if dispatch > 0.0 {
+                    t.micro
+                        .push_back(MicroOp::Timed(Timed::Ns { rem: dispatch }));
+                }
+                match ordered {
+                    None => {
+                        t.micro.push_back(MicroOp::Timed(Timed::Cycles {
+                            rem: body_cycles * g.iters as f64,
+                            class: body_class,
+                        }));
+                    }
+                    Some(section_ns) => {
+                        for i in g.first_iter..g.first_iter + g.iters {
+                            t.micro.push_back(MicroOp::Timed(Timed::Cycles {
+                                rem: body_cycles,
+                                class: body_class,
+                            }));
+                            t.micro.push_back(MicroOp::WaitTicket { obj, iter: i });
+                            t.micro
+                                .push_back(MicroOp::Timed(Timed::Ns { rem: section_ns }));
+                            t.micro.push_back(MicroOp::TicketDone { obj });
+                        }
+                    }
+                }
+                t.micro.push_back(MicroOp::GrabChunk(obj));
+            }
+        }
+    }
+
+    /// Barrier arrival. Returns `true` when the task blocked.
+    fn barrier_arrive(&mut self, tid: TaskId, obj: ObjId) -> bool {
+        let cpu = self.tasks[tid.0 as usize].cpu;
+        let SyncObj::Barrier(b) = &mut self.objs[obj.0 as usize] else {
+            panic!("BarrierArrive on non-barrier object");
+        };
+        if b.arrive(cpu) {
+            let span = b.span_factor;
+            let last_cpu = b.last_cpu;
+            let waiters = b.release();
+            let base = self.params.sync.barrier_release_ns;
+            let per_dist = self.params.sync.barrier_release_per_distance_ns;
+            // The last arriver pays the base release cost itself.
+            self.tasks[tid.0 as usize].pending_overhead_ns += base * span;
+            for w in waiters {
+                let wcpu = self.tasks[w.0 as usize].cpu;
+                let d = self
+                    .machine
+                    .distance(HwThreadId(last_cpu), HwThreadId(wcpu)) as f64;
+                self.wake(w, base + per_dist * d);
+            }
+            false
+        } else {
+            b.waiters.push(tid);
+            self.tasks[tid.0 as usize].state = TaskState::Waiting(WaitKind::Barrier(obj));
+            true
+        }
+    }
+
+    /// Wake a spin-waiting task: it becomes runnable with `cost_ns` of
+    /// wake-up latency; if it currently holds its CPU it resumes at once.
+    ///
+    /// Unbound tasks are additionally subject to *wake migration*: with
+    /// the configured probability, the scheduler re-places them as if
+    /// they had slept through the wait and were woken fresh — they drift
+    /// away from their first-touch NUMA domain and occasionally stack on
+    /// busy CPUs, the paper's "before thread-pinning" behaviour.
+    fn wake(&mut self, tid: TaskId, cost_ns: f64) {
+        let ti = tid.0 as usize;
+        debug_assert!(matches!(self.tasks[ti].state, TaskState::Waiting(_)));
+        self.tasks[ti].state = TaskState::Runnable;
+        self.tasks[ti].pending_overhead_ns += cost_ns;
+        let cpu = self.tasks[ti].cpu;
+        if self.tasks[ti].pin.is_none()
+            && self.params.sched.wake_migrate_prob > 0.0
+            && self.rng_place.chance(self.params.sched.wake_migrate_prob)
+        {
+            let target = if self.rng_place.chance(self.params.sched.wake_misplace_prob) {
+                self.rng_place.index(self.cpus.len())
+            } else {
+                Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+            };
+            if target != cpu {
+                // Detach from the current CPU (running or queued).
+                if self.cpus[cpu].running == Some(tid) {
+                    self.touch(cpu);
+                    self.set_running(cpu, None);
+                    self.migrate(tid, cpu, target);
+                    self.commit(cpu);
+                } else if let Some(pos) = self.cpus[cpu].uq.iter().position(|&t| t == tid) {
+                    self.cpus[cpu].uq.remove(pos);
+                    self.migrate(tid, cpu, target);
+                }
+                return;
+            }
+        }
+        if self.cpus[cpu].running == Some(tid) {
+            self.touch(cpu);
+            self.commit(cpu);
+        }
+        // Otherwise the task is queued and resumes when next dispatched.
+    }
+
+    /// Completion of a contended atomic: release its slot.
+    fn atomic_done(&mut self, obj: ObjId) {
+        let SyncObj::Atomic(a) = &mut self.objs[obj.0 as usize] else {
+            panic!("atomic_done on non-atomic object");
+        };
+        debug_assert!(a.active > 0);
+        a.active -= 1;
+    }
+
+    /// Remove a finished task from its CPU and recycle kernel tasks.
+    fn finish_task(&mut self, tid: TaskId) {
+        let ti = tid.0 as usize;
+        self.tasks[ti].state = TaskState::Done;
+        let cpu = self.tasks[ti].cpu;
+        debug_assert_eq!(self.cpus[cpu].running, Some(tid));
+        self.set_running(cpu, None);
+        match self.tasks[ti].kind {
+            TaskKind::User => {
+                self.users_remaining -= 1;
+            }
+            TaskKind::Kernel => {
+                self.kernel_freelist.push(tid);
+            }
+        }
+        self.commit(cpu);
+    }
+
+    // ------------------------------------------------------------------
+    // Placement, noise, load balancing
+    // ------------------------------------------------------------------
+
+    /// Pick the least-loaded CPU: idle CPUs on fully idle cores first,
+    /// then idle CPUs, then minimal queue length; ties broken randomly.
+    fn least_loaded_cpu(rng: &mut Rng, cpus: &[Cpu], machine: &MachineSpec) -> usize {
+        let mut best_key = (u8::MAX, usize::MAX);
+        let mut best: Vec<usize> = Vec::new();
+        for (i, c) in cpus.iter().enumerate() {
+            let load = c.load();
+            let core_idle = machine
+                .hw_threads_of_core(machine.core_of(HwThreadId(i)))
+                .iter()
+                .all(|h| cpus[h.0].load() == 0);
+            let class = if load == 0 && core_idle {
+                0
+            } else if load == 0 {
+                1
+            } else {
+                2
+            };
+            let key = (class, load);
+            if key < best_key {
+                best_key = key;
+                best.clear();
+                best.push(i);
+            } else if key == best_key {
+                best.push(i);
+            }
+        }
+        best[rng.index(best.len())]
+    }
+
+    /// Initial placement of a user task.
+    fn initial_cpu(&mut self, tid: TaskId) -> usize {
+        let pin = self.tasks[tid.0 as usize].pin.clone();
+        match pin {
+            Some(place) => {
+                // Least loaded within the place.
+                let mut best = place.first().0;
+                let mut best_load = usize::MAX;
+                for &h in place.hw_threads() {
+                    let l = self.cpus[h.0].load();
+                    if l < best_load {
+                        best_load = l;
+                        best = h.0;
+                    }
+                }
+                best
+            }
+            None => {
+                if self
+                    .rng_place
+                    .chance(self.params.sched.wake_misplace_prob)
+                {
+                    self.rng_place.index(self.cpus.len())
+                } else {
+                    Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+                }
+            }
+        }
+    }
+
+    /// Enqueue a ready task on `cpu`, preempting per priority rules.
+    fn enqueue(&mut self, tid: TaskId, cpu: usize) {
+        let kind = self.tasks[tid.0 as usize].kind;
+        self.tasks[tid.0 as usize].cpu = cpu;
+        match kind {
+            TaskKind::Kernel => {
+                match self.cpus[cpu].running {
+                    Some(r) if self.tasks[r.0 as usize].kind == TaskKind::User => {
+                        // Kernel work preempts user work immediately; the
+                        // victim additionally pays a cache-refill penalty
+                        // when it resumes, scaled by how long the kernel
+                        // work ran (how much cache it displaced).
+                        self.touch(cpu);
+                        self.set_running(cpu, None);
+                        self.cpus[cpu].uq.push_front(r);
+                        let dur_ns = match self.tasks[tid.0 as usize].program.ops().first() {
+                            Some(Op::Busy { ns }) => *ns,
+                            _ => self.params.sched.refill_saturation_ns,
+                        };
+                        let scale =
+                            (dur_ns / self.params.sched.refill_saturation_ns).min(1.0);
+                        let refill = scale * self.params.sched.preempt_refill_cycles
+                            / self.ghz(cpu).max(0.1);
+                        self.tasks[r.0 as usize].pending_overhead_ns += refill;
+                        self.tasks[r.0 as usize].stats.preemptions += 1;
+                        self.counters.preemptions += 1;
+                        self.cpus[cpu].kq.push_back(tid);
+                        self.commit(cpu);
+                    }
+                    Some(_) => {
+                        self.cpus[cpu].kq.push_back(tid);
+                        // Boundary already scheduled for the running kernel
+                        // task; nothing to do.
+                    }
+                    None => {
+                        self.cpus[cpu].kq.push_back(tid);
+                        self.commit(cpu);
+                    }
+                }
+            }
+            TaskKind::User => {
+                if self.cpus[cpu].running.is_none() && self.cpus[cpu].kq.is_empty() {
+                    self.cpus[cpu].uq.push_back(tid);
+                    self.commit(cpu);
+                } else {
+                    // Refresh the current quantum if it already expired.
+                    if self.cpus[cpu].quantum_end <= self.now {
+                        self.cpus[cpu].quantum_end = self.now + self.params.sched.quantum;
+                    }
+                    self.cpus[cpu].uq.push_back(tid);
+                    // The running task now has competition: reprice so the
+                    // quantum boundary takes effect.
+                    self.touch(cpu);
+                    self.schedule_boundary(cpu);
+                }
+            }
+        }
+    }
+
+    /// Spawn one kernel noise task of duration `ns` on `cpu`.
+    fn spawn_kernel(&mut self, cpu: usize, ns: f64) {
+        let program = Program::new(vec![Op::Busy { ns }]);
+        let tid = match self.kernel_freelist.pop() {
+            Some(id) => {
+                let t = &mut self.tasks[id.0 as usize];
+                t.program = program;
+                t.pc = 0;
+                t.frames.clear();
+                t.micro.clear();
+                t.current = None;
+                t.state = TaskState::Runnable;
+                t.pending_overhead_ns = 0.0;
+                t.loop_gen = u64::MAX;
+                id
+            }
+            None => {
+                let id = TaskId(self.tasks.len() as u32);
+                self.tasks
+                    .push(Task::new(id, TaskKind::Kernel, 0, program, None));
+                id
+            }
+        };
+        self.counters.noise_busy += from_ns_f64(ns);
+        self.enqueue(tid, cpu);
+    }
+
+    /// One load-balancing pass: move queued, movable user tasks from
+    /// overloaded CPUs to idle ones.
+    fn load_balance(&mut self) {
+        let n = self.cpus.len();
+        for cpu in 0..n {
+            while !self.cpus[cpu].uq.is_empty()
+                && self.cpus[cpu].uq.len() + usize::from(self.cpus[cpu].running.is_some()) >= 2
+            {
+                // Overloaded: this CPU has a runner plus waiters (or ≥2
+                // waiters while a kernel task runs). Try to move the last
+                // queued movable user task.
+                let Some(pos) = self.cpus[cpu]
+                    .uq
+                    .iter()
+                    .rposition(|t| self.movable(*t))
+                else {
+                    break;
+                };
+                let stale = self
+                    .rng_balance
+                    .chance(self.params.sched.balance_stale_prob);
+                let target = {
+                    let tid = self.cpus[cpu].uq[pos];
+                    self.balance_target(tid, cpu, stale)
+                };
+                let Some(target) = target else { break };
+                if target == cpu {
+                    break;
+                }
+                let tid = self.cpus[cpu].uq.remove(pos).unwrap();
+                self.migrate(tid, cpu, target);
+            }
+        }
+    }
+
+    /// Whether a queued user task may be migrated (unbound, or bound to a
+    /// multi-CPU place).
+    fn movable(&self, tid: TaskId) -> bool {
+        let t = &self.tasks[tid.0 as usize];
+        t.kind == TaskKind::User
+            && match &t.pin {
+                None => true,
+                Some(p) => p.len() > 1,
+            }
+    }
+
+    /// Choose a migration target for `tid` (currently on `from`).
+    fn balance_target(&mut self, tid: TaskId, from: usize, stale: bool) -> Option<usize> {
+        let t = &self.tasks[tid.0 as usize];
+        let allowed: Vec<usize> = match &t.pin {
+            Some(p) => p.hw_threads().iter().map(|h| h.0).collect(),
+            None => (0..self.cpus.len()).collect(),
+        };
+        if stale {
+            // Stale load information: any allowed CPU, possibly busy.
+            return Some(allowed[self.rng_balance.index(allowed.len())]);
+        }
+        // Prefer idle CPUs, nearest first.
+        let mut best: Option<(u32, usize)> = None;
+        let mut cands: Vec<usize> = Vec::new();
+        for &c in &allowed {
+            if c == from || self.cpus[c].load() > 0 {
+                continue;
+            }
+            let d = self.machine.distance(HwThreadId(from), HwThreadId(c));
+            match best {
+                None => {
+                    best = Some((d, c));
+                    cands.clear();
+                    cands.push(c);
+                }
+                Some((bd, _)) if d < bd => {
+                    best = Some((d, c));
+                    cands.clear();
+                    cands.push(c);
+                }
+                Some((bd, _)) if d == bd => cands.push(c),
+                _ => {}
+            }
+        }
+        if cands.is_empty() {
+            None
+        } else {
+            Some(cands[self.rng_balance.index(cands.len())])
+        }
+    }
+
+    /// Migrate queued task `tid` from `from` to `to`, charging the
+    /// cache-warmup penalty.
+    fn migrate(&mut self, tid: TaskId, from: usize, to: usize) {
+        let d = self.machine.distance(HwThreadId(from), HwThreadId(to)) as f64;
+        let ghz = self.ghz(to);
+        let penalty_ns =
+            self.params.sched.migration_penalty_cycles * (1.0 + d) / ghz.max(0.1);
+        let t = &mut self.tasks[tid.0 as usize];
+        t.pending_overhead_ns += penalty_ns;
+        t.stats.migrations += 1;
+        self.counters.migrations += 1;
+        self.enqueue(tid, to);
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers and the main loop
+    // ------------------------------------------------------------------
+
+    fn start(&mut self) {
+        assert!(!self.started);
+        self.started = true;
+        // Place and enqueue user tasks in spawn order.
+        let users = self.user_tasks.clone();
+        for tid in users {
+            let cpu = self.initial_cpu(tid);
+            self.enqueue(tid, cpu);
+        }
+        // Arm noise arrival processes.
+        for s in 0..self.noise_streams.len() {
+            self.arm_noise(s);
+        }
+        // Periodic services.
+        if self.params.sched.balance_interval > 0 {
+            self.queue
+                .push(self.params.sched.balance_interval, EventKind::LoadBalance);
+        }
+        if let Some(cfg) = self.logger.clone() {
+            self.queue.push(cfg.period, EventKind::FreqSample);
+        }
+    }
+
+    fn arm_noise(&mut self, s: usize) {
+        let interval = {
+            let stream = &mut self.noise_streams[s];
+            let src = &self.params.noise.sources[stream.source];
+            stream.rng.exp(src.mean_interval as f64)
+        };
+        self.queue.push(
+            self.now.saturating_add(from_ns_f64(interval)),
+            EventKind::NoiseArrival { src: s as u32 },
+        );
+    }
+
+    fn handle_noise_arrival(&mut self, s: usize) {
+        self.counters.noise_events += 1;
+        let (cpu, dur_ns) = {
+            let stream = &mut self.noise_streams[s];
+            let src = &self.params.noise.sources[stream.source];
+            let dur = stream
+                .rng
+                .lognormal(src.median_duration as f64, src.duration_sigma);
+            let cpu = match src.placement {
+                NoisePlacement::PerCpu => {
+                    // Linux-style wake placement: most per-CPU kernel
+                    // housekeeping (softirq, unbound kworkers) can run on
+                    // an idle SMT sibling instead of preempting the home
+                    // CPU — the mechanism behind the paper's ST
+                    // configuration "absorbing" OS noise. CPU-bound
+                    // kernel work (the remaining fraction) must preempt.
+                    let home = stream.cpu.unwrap();
+                    if self.cpus[home].load() == 0 {
+                        home
+                    } else if stream.rng.chance(self.params.noise.sibling_absorb_prob) {
+                        self.machine
+                            .siblings_of(HwThreadId(home))
+                            .into_iter()
+                            .map(|h| h.0)
+                            .find(|&s| self.cpus[s].load() == 0)
+                            .unwrap_or(home)
+                    } else {
+                        home
+                    }
+                }
+                NoisePlacement::RandomCpu => stream.rng.index(self.cpus.len()),
+                NoisePlacement::LeastLoaded => {
+                    // Wake placement is locality-biased: with some
+                    // probability the daemon wakes *affine* to its
+                    // previous CPU (uniformly random from the node's
+                    // perspective) and searches like Linux's
+                    // select_idle_sibling: the previous CPU itself, its
+                    // SMT siblings, then the NUMA domain; if the whole
+                    // local domain is busy, the slow path usually finds a
+                    // remote idle CPU, otherwise the daemon preempts.
+                    // Consequence: a fully packed socket (MT placement,
+                    // or using nearly all cores) gets hit, while spare
+                    // siblings/cores absorb the same wakes.
+                    if stream.rng.chance(self.params.noise.daemon_local_wake_prob) {
+                        let prev = stream.rng.index(self.cpus.len());
+                        if self.cpus[prev].load() == 0 {
+                            prev
+                        } else {
+                            let sib = self
+                                .machine
+                                .siblings_of(HwThreadId(prev))
+                                .into_iter()
+                                .map(|h| h.0)
+                                .find(|&s| self.cpus[s].load() == 0);
+                            let local = sib.or_else(|| {
+                                self.machine
+                                    .hw_threads_of_numa(self.machine.numa_of(HwThreadId(prev)))
+                                    .into_iter()
+                                    .map(|h| h.0)
+                                    .find(|&s| self.cpus[s].load() == 0)
+                            });
+                            match local {
+                                Some(c) => c,
+                                None if stream
+                                    .rng
+                                    .chance(self.params.noise.cross_llc_escape_prob) =>
+                                {
+                                    Self::least_loaded_cpu(
+                                        &mut stream.rng,
+                                        &self.cpus,
+                                        &self.machine,
+                                    )
+                                }
+                                None => prev,
+                            }
+                        }
+                    } else {
+                        Self::least_loaded_cpu(&mut stream.rng, &self.cpus, &self.machine)
+                    }
+                }
+            };
+            (cpu, dur)
+        };
+        self.spawn_kernel(cpu, dur_ns);
+        self.arm_noise(s);
+    }
+
+    fn handle_boundary(&mut self, cpu: usize, token: u64) {
+        if token != self.cpus[cpu].token {
+            return; // stale
+        }
+        self.touch(cpu);
+        let Some(tid) = self.cpus[cpu].running else {
+            return;
+        };
+        let ti = tid.0 as usize;
+        // Completed timed micro?
+        let mut finished_atomic: Option<ObjId> = None;
+        if let Some(cur) = &self.tasks[ti].current {
+            let rem = match cur {
+                Timed::Cycles { rem, .. }
+                | Timed::Ns { rem }
+                | Timed::Bytes { rem }
+                | Timed::AtomicNs { rem, .. } => *rem,
+            };
+            if rem <= 0.0 && self.tasks[ti].pending_overhead_ns <= 0.0 {
+                if let Timed::AtomicNs { obj, .. } = cur {
+                    finished_atomic = Some(*obj);
+                }
+                self.tasks[ti].current = None;
+            }
+        }
+        if let Some(obj) = finished_atomic {
+            self.atomic_done(obj);
+        }
+        // Quantum rotation.
+        let rotate = self.tasks[ti].kind == TaskKind::User
+            && !self.cpus[cpu].uq.is_empty()
+            && self.now >= self.cpus[cpu].quantum_end;
+        if rotate {
+            self.set_running(cpu, None);
+            self.cpus[cpu].uq.push_back(tid);
+        }
+        self.commit(cpu);
+    }
+
+    fn handle_tick(&mut self, cpu: usize, token: u64) {
+        if token != self.cpus[cpu].tick_token {
+            return;
+        }
+        if let Some(tid) = self.cpus[cpu].running {
+            self.counters.ticks += 1;
+            let waiting = matches!(self.tasks[tid.0 as usize].state, TaskState::Waiting(_));
+            if !waiting {
+                self.touch(cpu);
+                self.tasks[tid.0 as usize].pending_overhead_ns +=
+                    self.params.sched.tick_cost as f64;
+                self.schedule_boundary(cpu);
+            }
+            self.queue.push(
+                self.now + self.params.sched.tick_period,
+                EventKind::TimerTick { cpu, token },
+            );
+        }
+    }
+
+    fn handle_freq_reeval(&mut self, socket: usize) {
+        let active = self.sockets[socket].active_cores;
+        let clock = self.machine.clock.clone();
+        let mut target = clock.sustainable_ghz(active.max(1));
+        if self.sockets[socket].pulse_active {
+            target *= 1.0 - self.params.freq.pulse_depth;
+            target = target.max(clock.base_ghz * 0.9);
+        }
+        if (target - self.sockets[socket].applied_ghz).abs() > 1e-9 {
+            self.counters.freq_transitions += 1;
+            // Reprice everything busy on this socket.
+            let cpus: Vec<usize> = (0..self.cpus.len())
+                .filter(|&c| {
+                    self.socket_of_cpu(c) == socket && self.cpus[c].running.is_some()
+                })
+                .collect();
+            for &c in &cpus {
+                self.touch(c);
+            }
+            self.sockets[socket].applied_ghz = target;
+            for &c in &cpus {
+                self.schedule_boundary(c);
+            }
+        }
+        // Arm or disarm the pulse process based on turbo headroom.
+        let all_core = clock
+            .turbo_bins
+            .last()
+            .copied()
+            .unwrap_or(clock.max_ghz);
+        let headroom = clock.sustainable_ghz(active.max(1)) - all_core;
+        let unstable = active > 0 && headroom > self.params.freq.stable_headroom_ghz;
+        if unstable && !self.sockets[socket].pulse_armed {
+            self.sockets[socket].pulse_armed = true;
+            self.sockets[socket].pulse_token += 1;
+            let token = self.sockets[socket].pulse_token;
+            let dt = self.sockets[socket]
+                .rng
+                .exp(self.params.freq.pulse_mean_interval as f64);
+            self.queue.push(
+                self.now.saturating_add(from_ns_f64(dt)),
+                EventKind::FreqPulse { socket, token },
+            );
+        } else if !unstable && self.sockets[socket].pulse_armed {
+            self.sockets[socket].pulse_armed = false;
+            self.sockets[socket].pulse_token += 1;
+            if self.sockets[socket].pulse_active {
+                self.sockets[socket].pulse_active = false;
+                self.queue.push(self.now, EventKind::FreqReeval { socket });
+            }
+        }
+    }
+
+    fn handle_freq_pulse(&mut self, socket: usize, token: u64) {
+        if token != self.sockets[socket].pulse_token {
+            return;
+        }
+        let sock = &mut self.sockets[socket];
+        let dt = if sock.pulse_active {
+            // Pulse ends; next pulse after an interval.
+            sock.pulse_active = false;
+            sock.rng.exp(self.params.freq.pulse_mean_interval as f64)
+        } else {
+            // Pulse begins; ends after its duration.
+            sock.pulse_active = true;
+            sock.rng.exp(self.params.freq.pulse_mean_duration as f64)
+        };
+        self.queue.push(
+            self.now.saturating_add(from_ns_f64(dt)),
+            EventKind::FreqPulse { socket, token },
+        );
+        self.handle_freq_reeval(socket);
+    }
+
+    fn handle_freq_sample(&mut self) {
+        let Some(cfg) = self.logger.clone() else {
+            return;
+        };
+        let idle_ghz = (self.machine.clock.base_ghz * 0.6) as f32;
+        let core_ghz: Vec<f32> = (0..self.machine.n_cores())
+            .map(|core| {
+                if self.core_busy[core] > 0 {
+                    let socket = self
+                        .machine
+                        .socket_of_numa(self.machine.numa_of_core(ompvar_topology::CoreId(core)))
+                        .0;
+                    self.sockets[socket].applied_ghz as f32
+                } else {
+                    idle_ghz
+                }
+            })
+            .collect();
+        self.freq_samples.push(FreqSample {
+            time: self.now,
+            core_ghz,
+        });
+        if let Some(cpu) = cfg.cpu {
+            if cfg.cost > 0 {
+                self.spawn_kernel(cpu, cfg.cost as f64);
+            }
+        }
+        self.queue.push(self.now + cfg.period, EventKind::FreqSample);
+    }
+
+    /// Run the simulation until all user tasks finish or `limit` virtual
+    /// time is reached. Returns the report.
+    pub fn run(mut self, limit: Time) -> SimReport {
+        self.start();
+        while self.users_remaining > 0 {
+            let Some((t, ev)) = self.queue.pop() else {
+                panic!(
+                    "simulation deadlock at t={} with {} user task(s) unfinished",
+                    self.now, self.users_remaining
+                );
+            };
+            if t > limit {
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.counters.events += 1;
+            match ev {
+                EventKind::CpuBoundary { cpu, token } => self.handle_boundary(cpu, token),
+                EventKind::NoiseArrival { src } => self.handle_noise_arrival(src as usize),
+                EventKind::TimerTick { cpu, token } => self.handle_tick(cpu, token),
+                EventKind::LoadBalance => {
+                    self.load_balance();
+                    self.queue.push(
+                        self.now + self.params.sched.balance_interval,
+                        EventKind::LoadBalance,
+                    );
+                }
+                EventKind::FreqReeval { socket } => self.handle_freq_reeval(socket),
+                EventKind::FreqPulse { socket, token } => self.handle_freq_pulse(socket, token),
+                EventKind::FreqSample => self.handle_freq_sample(),
+            }
+        }
+        let final_time = self.now;
+        let task_stats = self
+            .user_tasks
+            .iter()
+            .map(|&t| (t, self.tasks[t.0 as usize].stats))
+            .collect();
+        SimReport {
+            final_time,
+            unfinished: self.users_remaining,
+            markers: std::mem::take(&mut self.markers),
+            freq_samples: std::mem::take(&mut self.freq_samples),
+            counters: self.counters,
+            task_stats,
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The discrete-event core: event kinds and the time-ordered queue.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Kinds of events processed by the engine.
+///
+/// Several kinds carry a `token`: a generation counter used to invalidate
+/// stale events. When the engine reprices a CPU's current work (because of
+/// preemption, a frequency change, or SMT state change) it bumps the CPU's
+/// token; the previously scheduled boundary event then no-ops when popped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The running span on `cpu` reaches a boundary: its current op
+    /// completes, or its scheduling quantum expires.
+    CpuBoundary {
+        /// Hardware thread.
+        cpu: usize,
+        /// Generation token (stale events no-op).
+        token: u64,
+    },
+    /// Next arrival of noise source `src`.
+    NoiseArrival {
+        /// Noise-stream index.
+        src: u32,
+    },
+    /// Periodic scheduler/timer tick on a busy `cpu`.
+    TimerTick {
+        /// Hardware thread.
+        cpu: usize,
+        /// Tick-chain generation token.
+        token: u64,
+    },
+    /// Periodic load-balancing pass over all CPUs.
+    LoadBalance,
+    /// Re-evaluate the DVFS state of `socket` after its active-core count
+    /// changed (fires after the governor's reaction latency).
+    FreqReeval {
+        /// Socket index.
+        socket: usize,
+    },
+    /// Stochastic turbo/dip transition of `socket`'s frequency process.
+    FreqPulse {
+        /// Socket index.
+        socket: usize,
+        /// Pulse-chain generation token.
+        token: u64,
+    },
+    /// The frequency logger samples all core frequencies.
+    FreqSample,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        // Ties broken by insertion sequence for determinism.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue with deterministic FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    pub fn push(&mut self, time: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry { time, seq, kind });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, EventKind)> {
+        self.heap.pop().map(|e| (e.time, e.kind))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::LoadBalance);
+        q.push(10, EventKind::FreqSample);
+        q.push(20, EventKind::LoadBalance);
+        assert_eq!(q.pop().unwrap().0, 10);
+        assert_eq!(q.pop().unwrap().0, 20);
+        assert_eq!(q.pop().unwrap().0, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::CpuBoundary { cpu: 1, token: 0 });
+        q.push(5, EventKind::CpuBoundary { cpu: 2, token: 0 });
+        q.push(5, EventKind::CpuBoundary { cpu: 3, token: 0 });
+        let order: Vec<usize> = (0..3)
+            .map(|_| match q.pop().unwrap().1 {
+                EventKind::CpuBoundary { cpu, .. } => cpu,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, EventKind::LoadBalance);
+        q.push(2, EventKind::LoadBalance);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

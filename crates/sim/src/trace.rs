@@ -1,0 +1,132 @@
+//! Simulation outputs: markers, frequency traces and counters.
+
+use crate::task::{TaskId, TaskStats};
+use crate::time::Time;
+
+/// One timestamped marker emitted by a task's `Mark` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerRecord {
+    /// Virtual time of the marker.
+    pub time: Time,
+    /// Emitting task.
+    pub task: TaskId,
+    /// Marker id chosen by the program author.
+    pub marker: u32,
+}
+
+/// One sample of the frequency logger: the frequency of every *core*
+/// (physical core, not hardware thread) at `time`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqSample {
+    /// Virtual time of the sample.
+    pub time: Time,
+    /// Per-core frequency in GHz (idle cores report their idle frequency,
+    /// as the Linux `scaling_cur_freq` sysfs file does).
+    pub core_ghz: Vec<f32>,
+}
+
+/// Aggregate engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Counters {
+    /// Kernel-noise arrivals that preempted a user task.
+    pub preemptions: u64,
+    /// Task migrations between hardware threads.
+    pub migrations: u64,
+    /// Total noise arrivals (including those landing on idle CPUs).
+    pub noise_events: u64,
+    /// Total CPU time consumed by noise tasks (ns).
+    pub noise_busy: Time,
+    /// Timer ticks charged to running tasks.
+    pub ticks: u64,
+    /// Socket frequency retargets (any change of the applied frequency).
+    pub freq_transitions: u64,
+    /// Events processed by the engine.
+    pub events: u64,
+}
+
+/// Everything the simulator reports after a run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Virtual time when the last user task finished.
+    pub final_time: Time,
+    /// User tasks still unfinished when the run stopped (nonzero only
+    /// when the virtual-time limit cut the run short — e.g. a deadlocked
+    /// barrier).
+    pub unfinished: usize,
+    /// All markers, in emission order.
+    pub markers: Vec<MarkerRecord>,
+    /// Frequency-logger samples (empty when the logger was not enabled).
+    pub freq_samples: Vec<FreqSample>,
+    /// Aggregate counters.
+    pub counters: Counters,
+    /// Per-user-task statistics, indexed by spawn order.
+    pub task_stats: Vec<(TaskId, TaskStats)>,
+}
+
+impl SimReport {
+    /// Times of every marker with id `marker`, emitted by `task`, in order.
+    pub fn marker_times(&self, task: TaskId, marker: u32) -> Vec<Time> {
+        self.markers
+            .iter()
+            .filter(|m| m.task == task && m.marker == marker)
+            .map(|m| m.time)
+            .collect()
+    }
+
+    /// Durations between consecutive `(begin, end)` marker pairs of a
+    /// task: the canonical way to extract per-repetition times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if begin/end markers are unpaired or interleaved out of
+    /// order — that indicates a malformed program.
+    pub fn intervals(&self, task: TaskId, begin: u32, end: u32) -> Vec<Time> {
+        let b = self.marker_times(task, begin);
+        let e = self.marker_times(task, end);
+        assert_eq!(
+            b.len(),
+            e.len(),
+            "unpaired begin/end markers ({} vs {})",
+            b.len(),
+            e.len()
+        );
+        b.iter()
+            .zip(e.iter())
+            .map(|(&tb, &te)| {
+                assert!(te >= tb, "end marker before begin marker");
+                te - tb
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_pair_up() {
+        let r = SimReport {
+            markers: vec![
+                MarkerRecord { time: 10, task: TaskId(0), marker: 1 },
+                MarkerRecord { time: 25, task: TaskId(0), marker: 2 },
+                MarkerRecord { time: 30, task: TaskId(0), marker: 1 },
+                MarkerRecord { time: 70, task: TaskId(0), marker: 2 },
+                MarkerRecord { time: 5, task: TaskId(1), marker: 1 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.intervals(TaskId(0), 1, 2), vec![15, 40]);
+        assert_eq!(r.marker_times(TaskId(1), 1), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpaired")]
+    fn unpaired_markers_panic() {
+        let r = SimReport {
+            markers: vec![MarkerRecord { time: 10, task: TaskId(0), marker: 1 }],
+            ..Default::default()
+        };
+        r.intervals(TaskId(0), 1, 2);
+    }
+}

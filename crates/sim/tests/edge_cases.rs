@@ -1,0 +1,222 @@
+//! Failure-injection and degenerate-configuration tests for the engine.
+
+use ompvar_sim::prelude::*;
+use ompvar_sim::sync::{LoopSchedule, LoopSpec};
+use ompvar_sim::time::{MS, SEC, US};
+use ompvar_topology::{HwThreadId, MachineSpec, Place};
+
+fn pin(cpu: usize) -> Option<Place> {
+    Some(Place::single(HwThreadId(cpu)))
+}
+
+/// A noise storm (very aggressive arrival rates) must not deadlock or
+/// starve the benchmark forever — it finishes, just late.
+#[test]
+fn noise_storm_slows_but_completes() {
+    let m = MachineSpec::generic(1, 2, 1);
+    let mut p = SimParams::sterile();
+    p.noise = NoiseParams {
+        sources: vec![NoiseSource {
+            name: "storm",
+            mean_interval: 200 * US,
+            median_duration: 150 * US,
+            duration_sigma: 0.5,
+            placement: NoisePlacement::PerCpu,
+        }],
+        ..NoiseParams::default()
+    };
+    let mut sim = Simulator::new(m, p, 1);
+    let prog = Program::builder()
+        .compute(30.0e6, CorunClass::Latency) // 10 ms of work
+        .build();
+    sim.spawn_user(0, prog, pin(0));
+    let rep = sim.run(60 * SEC);
+    assert!(rep.final_time > 15 * MS, "storm should at least double time");
+    assert!(rep.final_time < 60 * SEC, "must finish under the limit");
+    assert!(rep.counters.preemptions > 20);
+}
+
+/// A single-CPU machine with many oversubscribed threads and a barrier
+/// still completes (quantum rotation lets everyone arrive).
+#[test]
+fn single_cpu_oversubscription_with_barrier() {
+    let m = MachineSpec::generic(1, 1, 1);
+    let mut sim = Simulator::new(m, SimParams::sterile(), 1);
+    let b = sim.add_barrier(6, 1.0);
+    for rank in 0..6 {
+        let prog = Program::builder()
+            .repeat(3)
+            .compute(3.0e6, CorunClass::Latency)
+            .barrier(b)
+            .end_repeat()
+            .build();
+        sim.spawn_user(rank, prog, pin(0));
+    }
+    let rep = sim.run(60 * SEC);
+    // 6 threads × 3 reps × 1 ms serialized ≈ 18 ms plus rotation slack.
+    assert!(rep.final_time >= 18 * MS);
+    assert!(rep.final_time < 500 * MS);
+}
+
+/// Hitting the virtual-time limit stops the run without panicking, even
+/// with unfinished tasks.
+#[test]
+fn time_limit_stops_unfinished_run() {
+    let m = MachineSpec::generic(1, 2, 1);
+    let mut sim = Simulator::new(m, SimParams::sterile(), 1);
+    let prog = Program::builder()
+        .compute(3.0e12, CorunClass::Latency) // ~17 minutes of work
+        .build();
+    sim.spawn_user(0, prog, pin(0));
+    let rep = sim.run(10 * MS);
+    assert!(rep.final_time <= 10 * MS + 1);
+}
+
+/// A barrier sized for more threads than exist deadlocks; the run stops
+/// at the virtual-time limit and reports the unfinished tasks instead of
+/// hanging the host.
+#[test]
+fn barrier_deadlock_is_detected() {
+    let m = MachineSpec::generic(1, 2, 1);
+    let mut sim = Simulator::new(m, SimParams::sterile(), 1);
+    let b = sim.add_barrier(3, 1.0); // 3-party barrier...
+    for rank in 0..2 {
+        // ...but only two threads.
+        let prog = Program::builder().barrier(b).build();
+        sim.spawn_user(rank, prog, pin(rank));
+    }
+    let rep = sim.run(SEC);
+    assert_eq!(rep.unfinished, 2);
+}
+
+/// Zero-duration ops are skipped without stalling the interpreter.
+#[test]
+fn zero_duration_ops_are_fine() {
+    let m = MachineSpec::generic(1, 2, 1);
+    let mut sim = Simulator::new(m, SimParams::sterile(), 1);
+    let prog = Program::builder()
+        .mark(0)
+        .compute(0.0, CorunClass::Latency)
+        .busy_ns(0.0)
+        .compute(3000.0, CorunClass::Latency)
+        .mark(1)
+        .build();
+    let t = sim.spawn_user(0, prog, pin(0));
+    let rep = sim.run(SEC);
+    let d = rep.intervals(t, 0, 1)[0];
+    assert!((1_000..2_000).contains(&d), "1 µs of real work, got {d} ns");
+}
+
+/// Deeply nested repeat blocks execute the right number of times.
+#[test]
+fn nested_repeats_multiply() {
+    let m = MachineSpec::generic(1, 1, 1);
+    let mut sim = Simulator::new(m, SimParams::sterile(), 1);
+    let prog = Program::builder()
+        .repeat(3)
+        .repeat(4)
+        .repeat(5)
+        .mark(9)
+        .end_repeat()
+        .end_repeat()
+        .end_repeat()
+        .build();
+    let t = sim.spawn_user(0, prog, pin(0));
+    let rep = sim.run(SEC);
+    assert_eq!(rep.marker_times(t, 9).len(), 3 * 4 * 5);
+}
+
+/// An ordered loop whose team is bigger than the iteration count still
+/// terminates (some threads get no iterations).
+#[test]
+fn ordered_loop_with_more_threads_than_iters() {
+    let m = MachineSpec::generic(1, 8, 1);
+    let mut sim = Simulator::new(m, SimParams::sterile(), 1);
+    let lp = sim.add_loop(LoopSpec {
+        schedule: LoopSchedule::Static { chunk: 1 },
+        total_iters: 3,
+        n_threads: 8,
+        body_cycles: 3000.0,
+        body_class: CorunClass::Latency,
+        ordered_section_ns: Some(500.0),
+        batch: 1,
+        span_factor: 1.0,
+    });
+    let b = sim.add_barrier(8, 1.0);
+    for rank in 0..8 {
+        let prog = Program::builder().for_loop(lp).barrier(b).build();
+        sim.spawn_user(rank, prog, pin(rank));
+    }
+    let rep = sim.run(SEC);
+    assert!(rep.final_time > 0);
+}
+
+/// Unbound tasks on a tiny machine with constant churn still finish.
+#[test]
+fn heavy_churn_unbound_still_finishes() {
+    let m = MachineSpec::generic(1, 2, 2);
+    let mut p = SimParams::default();
+    p.sched.wake_migrate_prob = 0.5;
+    p.sched.wake_misplace_prob = 0.9;
+    p.sched.balance_stale_prob = 0.5;
+    let mut sim = Simulator::new(m, p, 3);
+    let b = sim.add_barrier(4, 1.0);
+    for rank in 0..4 {
+        let prog = Program::builder()
+            .repeat(20)
+            .compute(0.3e6, CorunClass::Latency)
+            .barrier(b)
+            .end_repeat()
+            .build();
+        sim.spawn_user(rank, prog, None);
+    }
+    let rep = sim.run(60 * SEC);
+    assert!(rep.final_time < 60 * SEC);
+    assert!(rep.counters.migrations > 0);
+}
+
+/// The frequency logger alone (no benchmark work beyond a trivial task)
+/// produces a consistent trace on a machine with one core.
+#[test]
+fn logger_on_minimal_machine() {
+    let m = MachineSpec::generic(1, 1, 1);
+    let mut sim = Simulator::new(m, SimParams::sterile(), 1);
+    sim.enable_freq_logger(None, MS, 0);
+    let prog = Program::builder()
+        .compute(30.0e6, CorunClass::Latency)
+        .build();
+    sim.spawn_user(0, prog, pin(0));
+    let rep = sim.run(SEC);
+    assert!(rep.freq_samples.len() >= 9);
+    assert!(rep
+        .freq_samples
+        .iter()
+        .all(|s| s.core_ghz.len() == 1 && s.core_ghz[0] > 0.0));
+}
+
+/// Kernel-task recycling: long runs do not grow the task table without
+/// bound (the freelist reuses finished noise tasks).
+#[test]
+fn noise_tasks_are_recycled() {
+    let m = MachineSpec::generic(1, 2, 1);
+    let mut p = SimParams::sterile();
+    p.noise = NoiseParams {
+        sources: vec![NoiseSource {
+            name: "chatter",
+            mean_interval: 50 * US,
+            median_duration: 5 * US,
+            duration_sigma: 0.1,
+            placement: NoisePlacement::PerCpu,
+        }],
+        ..NoiseParams::default()
+    };
+    let mut sim = Simulator::new(m, p, 1);
+    let prog = Program::builder()
+        .compute(300.0e6, CorunClass::Latency) // 100 ms
+        .build();
+    sim.spawn_user(0, prog, pin(0));
+    let rep = sim.run(10 * SEC);
+    // Thousands of arrivals happened; the engine must have processed them
+    // all (events counter) while recycling task slots.
+    assert!(rep.counters.noise_events > 2_000);
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Hardware topology model for the `ompvar` project.
+//!
+//! This crate models the structural properties of a shared-memory multicore
+//! node — sockets, NUMA domains, physical cores and SMT hardware threads —
+//! together with the OpenMP affinity machinery built on top of it:
+//! [`Places`] (the `OMP_PLACES` analogue) and [`ProcBind`] (the
+//! `OMP_PROC_BIND` analogue), plus the thread→place assignment algorithm.
+//!
+//! Two machine presets reproduce the platforms of the SC'23 study:
+//!
+//! * [`MachineSpec::dardel`] — one node of the HPE Cray EX *Dardel* system:
+//!   2× AMD EPYC Zen2, 64 cores per socket, SMT2, 8 NUMA domains of 16
+//!   cores, 2.25 GHz base / 3.4 GHz max.
+//! * [`MachineSpec::vera`] — one node of the *Vera* cluster: 2× Intel Xeon
+//!   Gold 6130, 16 cores per socket, no SMT, 2 NUMA domains, 2.1 GHz base /
+//!   3.7 GHz max.
+//!
+//! Hardware-thread numbering follows the common Linux enumeration where
+//! logical CPU `i` for `i < n_cores` is the first hardware thread of core
+//! `i`, and logical CPU `i + n_cores` is its SMT sibling.
+
+pub mod affinity;
+pub mod machine;
+pub mod places;
+
+pub use affinity::{assign_places, ProcBind, ThreadAssignment};
+pub use machine::{CoreId, HwThreadId, MachineSpec, NumaId, SocketId};
+pub use places::{Place, Places};

@@ -1,0 +1,549 @@
+//! `OMP_PLACES`-style place lists.
+//!
+//! A *place* is an unordered set of hardware threads; a *place list* is an
+//! ordered list of places that OpenMP threads are bound to according to the
+//! [`ProcBind`](crate::ProcBind) policy. This module provides the abstract
+//! place kinds (`threads`, `cores`, `numa_domains`, `sockets`), explicit
+//! place lists, and a parser for the OpenMP interval notation, e.g.
+//! `"{0},{1},{2}"`, `"{0:4}:8:4"`, `"cores(16)"`.
+
+use crate::machine::{HwThreadId, MachineSpec, NumaId};
+use std::fmt;
+
+/// One place: a set of hardware threads a software thread may run on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Place {
+    hws: Vec<HwThreadId>,
+}
+
+impl Place {
+    /// Build a place from hardware-thread ids. Ids are deduplicated and kept
+    /// sorted so that equality is set equality.
+    pub fn new(mut hws: Vec<HwThreadId>) -> Self {
+        hws.sort_unstable();
+        hws.dedup();
+        assert!(!hws.is_empty(), "a place must contain at least one hw thread");
+        Place { hws }
+    }
+
+    /// A place holding a single hardware thread.
+    pub fn single(hw: HwThreadId) -> Self {
+        Place { hws: vec![hw] }
+    }
+
+    /// The hardware threads in this place, sorted ascending.
+    pub fn hw_threads(&self) -> &[HwThreadId] {
+        &self.hws
+    }
+
+    /// Lowest-numbered hardware thread, used as the canonical pin target
+    /// when a thread is bound to a multi-thread place.
+    pub fn first(&self) -> HwThreadId {
+        self.hws[0]
+    }
+
+    /// Number of hardware threads in the place.
+    pub fn len(&self) -> usize {
+        self.hws.len()
+    }
+
+    /// Whether the place is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.hws.is_empty()
+    }
+
+    /// Whether the place contains `hw`.
+    pub fn contains(&self, hw: HwThreadId) -> bool {
+        self.hws.binary_search(&hw).is_ok()
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, h) in self.hws.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", h.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Abstract place-list specification, resolved against a [`MachineSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Places {
+    /// One place per hardware thread (`OMP_PLACES=threads`), optionally
+    /// limited to the first `n` places.
+    Threads(Option<usize>),
+    /// One place per physical core (`OMP_PLACES=cores`), each containing
+    /// all SMT contexts of the core, optionally limited to `n` places.
+    Cores(Option<usize>),
+    /// One place per NUMA domain (`OMP_PLACES=numa_domains`).
+    NumaDomains(Option<usize>),
+    /// One place per socket (`OMP_PLACES=sockets`).
+    Sockets(Option<usize>),
+    /// An explicit, ordered list of places.
+    Explicit(Vec<Place>),
+}
+
+impl Places {
+    /// One single-thread place per *core* (first SMT context only), limited
+    /// to the first `n` cores. This is the classic "ST" pinning used in the
+    /// paper: one OpenMP thread per physical core, siblings left idle.
+    pub fn one_per_core(machine: &MachineSpec, n: usize) -> Places {
+        assert!(n <= machine.n_cores(), "requested more cores than exist");
+        Places::Explicit((0..n).map(|c| Place::single(HwThreadId(c))).collect())
+    }
+
+    /// One single-thread place per *hardware thread* of the first
+    /// `n_cores` cores, siblings included — the "MT" configuration:
+    /// core 0 ctx 0, core 0 ctx 1, core 1 ctx 0, …
+    pub fn smt_packed(machine: &MachineSpec, n_cores: usize) -> Places {
+        assert!(n_cores <= machine.n_cores());
+        let mut places = Vec::with_capacity(n_cores * machine.smt);
+        for c in 0..n_cores {
+            for s in 0..machine.smt {
+                places.push(Place::single(HwThreadId(c + s * machine.n_cores())));
+            }
+        }
+        Places::Explicit(places)
+    }
+
+    /// One single-thread place per core of the given NUMA domains, in
+    /// domain order — used for the Vera one-NUMA vs. cross-NUMA study.
+    pub fn cores_of_numas(machine: &MachineSpec, numas: &[NumaId], per_numa: usize) -> Places {
+        let mut places = Vec::new();
+        for &n in numas {
+            for c in machine.cores_of_numa(n).into_iter().take(per_numa) {
+                places.push(Place::single(HwThreadId(c.0)));
+            }
+        }
+        Places::Explicit(places)
+    }
+
+    /// Resolve the specification into a concrete ordered place list.
+    pub fn resolve(&self, machine: &MachineSpec) -> Vec<Place> {
+        match self {
+            Places::Threads(limit) => {
+                let n = limit.unwrap_or(machine.n_hw_threads());
+                assert!(n <= machine.n_hw_threads(), "threads({}) exceeds machine", n);
+                // Enumerate core-major so that "threads" places walk cores
+                // before SMT siblings, matching `close` expectations on
+                // Linux-ordered machines.
+                let mut out = Vec::with_capacity(n);
+                'outer: for c in 0..machine.n_cores() {
+                    for s in 0..machine.smt {
+                        if out.len() == n {
+                            break 'outer;
+                        }
+                        out.push(Place::single(HwThreadId(c + s * machine.n_cores())));
+                    }
+                }
+                out
+            }
+            Places::Cores(limit) => {
+                let n = limit.unwrap_or(machine.n_cores());
+                assert!(n <= machine.n_cores(), "cores({}) exceeds machine", n);
+                (0..n)
+                    .map(|c| Place::new(machine.hw_threads_of_core(crate::CoreId(c))))
+                    .collect()
+            }
+            Places::NumaDomains(limit) => {
+                let n = limit.unwrap_or(machine.n_numa());
+                assert!(n <= machine.n_numa(), "numa_domains({}) exceeds machine", n);
+                (0..n)
+                    .map(|d| Place::new(machine.hw_threads_of_numa(NumaId(d))))
+                    .collect()
+            }
+            Places::Sockets(limit) => {
+                let n = limit.unwrap_or(machine.sockets);
+                assert!(n <= machine.sockets, "sockets({}) exceeds machine", n);
+                (0..n)
+                    .map(|s| {
+                        let mut hws = Vec::new();
+                        for d in 0..machine.numa_per_socket {
+                            hws.extend(
+                                machine.hw_threads_of_numa(NumaId(s * machine.numa_per_socket + d)),
+                            );
+                        }
+                        Place::new(hws)
+                    })
+                    .collect()
+            }
+            Places::Explicit(list) => {
+                for p in list {
+                    for &h in p.hw_threads() {
+                        assert!(
+                            h.0 < machine.n_hw_threads(),
+                            "place references hw thread {} beyond machine size {}",
+                            h.0,
+                            machine.n_hw_threads()
+                        );
+                    }
+                }
+                list.clone()
+            }
+        }
+    }
+
+    /// Parse the `OMP_PLACES` syntax.
+    ///
+    /// Supported forms:
+    /// * abstract names: `threads`, `cores`, `sockets`, `numa_domains`,
+    ///   optionally with a count: `cores(16)`;
+    /// * explicit lists of intervals: `{0},{1},{2}`, `{0,64},{1,65}`,
+    ///   `{0:4}` (4 ids starting at 0), `{0:4:2}` (stride 2);
+    /// * replicated intervals: `{0:4}:8:4` — 8 copies of the place,
+    ///   shifting the base by 4 each time (stride defaults to the length).
+    pub fn parse(s: &str) -> Result<Places, PlacesParseError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(PlacesParseError::new("empty OMP_PLACES string"));
+        }
+        if !s.starts_with('{') {
+            // Abstract name, optional (count).
+            let (name, count) = match s.find('(') {
+                Some(open) => {
+                    let close = s
+                        .rfind(')')
+                        .ok_or_else(|| PlacesParseError::new("missing ')'"))?;
+                    if close != s.len() - 1 {
+                        return Err(PlacesParseError::new("trailing characters after ')'"));
+                    }
+                    let n: usize = s[open + 1..close]
+                        .trim()
+                        .parse()
+                        .map_err(|_| PlacesParseError::new("invalid count"))?;
+                    (&s[..open], Some(n))
+                }
+                None => (s, None),
+            };
+            return match name.trim() {
+                "threads" => Ok(Places::Threads(count)),
+                "cores" => Ok(Places::Cores(count)),
+                "sockets" => Ok(Places::Sockets(count)),
+                "numa_domains" => Ok(Places::NumaDomains(count)),
+                other => Err(PlacesParseError::new(format!(
+                    "unknown abstract place name '{other}'"
+                ))),
+            };
+        }
+        let mut places = Vec::new();
+        for part in split_top_level(s)? {
+            parse_place_expr(&part, &mut places)?;
+        }
+        if places.is_empty() {
+            return Err(PlacesParseError::new("no places in list"));
+        }
+        Ok(Places::Explicit(places))
+    }
+}
+
+/// Error produced by [`Places::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacesParseError {
+    msg: String,
+}
+
+impl PlacesParseError {
+    fn new(msg: impl Into<String>) -> Self {
+        PlacesParseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for PlacesParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OMP_PLACES parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for PlacesParseError {}
+
+/// Split `"{0:4}:2:4,{8},{9}"` into top-level comma-separated items,
+/// respecting braces.
+fn split_top_level(s: &str) -> Result<Vec<String>, PlacesParseError> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '{' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            '}' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| PlacesParseError::new("unbalanced '}'"))?;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if depth != 0 {
+        return Err(PlacesParseError::new("unbalanced '{'"));
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+/// Parse one `{...}` place, or a replicated `{...}:count[:stride]` group.
+fn parse_place_expr(part: &str, out: &mut Vec<Place>) -> Result<(), PlacesParseError> {
+    let part = part.trim();
+    let close = part
+        .find('}')
+        .ok_or_else(|| PlacesParseError::new("expected '{...}' place"))?;
+    if !part.starts_with('{') {
+        return Err(PlacesParseError::new("place must start with '{'"));
+    }
+    let base = parse_interval_set(&part[1..close])?;
+    let rest = part[close + 1..].trim();
+    if rest.is_empty() {
+        out.push(Place::new(base.iter().copied().map(HwThreadId).collect()));
+        return Ok(());
+    }
+    // Replication suffix ":count[:stride]".
+    let rest = rest
+        .strip_prefix(':')
+        .ok_or_else(|| PlacesParseError::new("expected ':count' after place"))?;
+    let mut it = rest.split(':');
+    let count: usize = it
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .map_err(|_| PlacesParseError::new("invalid replication count"))?;
+    let stride: i64 = match it.next() {
+        Some(t) => t
+            .trim()
+            .parse()
+            .map_err(|_| PlacesParseError::new("invalid replication stride"))?,
+        None => base.len() as i64,
+    };
+    if it.next().is_some() {
+        return Err(PlacesParseError::new("too many ':' fields"));
+    }
+    if count == 0 {
+        return Err(PlacesParseError::new("replication count must be positive"));
+    }
+    for k in 0..count {
+        let shift = stride * k as i64;
+        let hws: Result<Vec<HwThreadId>, _> = base
+            .iter()
+            .map(|&b| {
+                let v = b as i64 + shift;
+                if v < 0 {
+                    Err(PlacesParseError::new("negative hw thread id in replication"))
+                } else {
+                    Ok(HwThreadId(v as usize))
+                }
+            })
+            .collect();
+        out.push(Place::new(hws?));
+    }
+    Ok(())
+}
+
+/// Parse the inside of `{...}`: comma-separated ids or
+/// `lower[:len[:stride]]` intervals.
+fn parse_interval_set(s: &str) -> Result<Vec<usize>, PlacesParseError> {
+    let mut out = Vec::new();
+    for item in s.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            return Err(PlacesParseError::new("empty item inside place"));
+        }
+        let fields: Vec<&str> = item.split(':').collect();
+        match fields.len() {
+            1 => out.push(
+                fields[0]
+                    .trim()
+                    .parse()
+                    .map_err(|_| PlacesParseError::new("invalid hw thread id"))?,
+            ),
+            2 | 3 => {
+                let lower: i64 = fields[0]
+                    .trim()
+                    .parse()
+                    .map_err(|_| PlacesParseError::new("invalid interval lower bound"))?;
+                let len: usize = fields[1]
+                    .trim()
+                    .parse()
+                    .map_err(|_| PlacesParseError::new("invalid interval length"))?;
+                let stride: i64 = if fields.len() == 3 {
+                    fields[2]
+                        .trim()
+                        .parse()
+                        .map_err(|_| PlacesParseError::new("invalid interval stride"))?
+                } else {
+                    1
+                };
+                if len == 0 {
+                    return Err(PlacesParseError::new("interval length must be positive"));
+                }
+                for k in 0..len as i64 {
+                    let v = lower + k * stride;
+                    if v < 0 {
+                        return Err(PlacesParseError::new("negative hw thread id in interval"));
+                    }
+                    out.push(v as usize);
+                }
+            }
+            _ => return Err(PlacesParseError::new("too many ':' in interval")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    #[test]
+    fn resolve_threads_core_major() {
+        let m = MachineSpec::dardel();
+        let p = Places::Threads(Some(4)).resolve(&m);
+        assert_eq!(p.len(), 4);
+        // Core-major: cpu0 ctx0, cpu0 ctx1(=128), cpu1 ctx0, cpu1 ctx1.
+        assert_eq!(p[0], Place::single(HwThreadId(0)));
+        assert_eq!(p[1], Place::single(HwThreadId(128)));
+        assert_eq!(p[2], Place::single(HwThreadId(1)));
+        assert_eq!(p[3], Place::single(HwThreadId(129)));
+    }
+
+    #[test]
+    fn resolve_cores_includes_siblings() {
+        let m = MachineSpec::dardel();
+        let p = Places::Cores(Some(2)).resolve(&m);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].hw_threads(), &[HwThreadId(0), HwThreadId(128)]);
+    }
+
+    #[test]
+    fn resolve_sockets_and_numa() {
+        let m = MachineSpec::vera();
+        let socks = Places::Sockets(None).resolve(&m);
+        assert_eq!(socks.len(), 2);
+        assert_eq!(socks[0].len(), 16);
+        let numas = Places::NumaDomains(None).resolve(&m);
+        assert_eq!(numas.len(), 2);
+        assert_eq!(numas[0], socks[0]);
+    }
+
+    #[test]
+    fn one_per_core_skips_siblings() {
+        let m = MachineSpec::dardel();
+        let Places::Explicit(p) = Places::one_per_core(&m, 128) else {
+            panic!()
+        };
+        assert_eq!(p.len(), 128);
+        assert!(p.iter().all(|pl| pl.len() == 1));
+        assert!(p.iter().all(|pl| pl.first().0 < 128));
+    }
+
+    #[test]
+    fn smt_packed_interleaves_contexts() {
+        let m = MachineSpec::dardel();
+        let Places::Explicit(p) = Places::smt_packed(&m, 2) else {
+            panic!()
+        };
+        let ids: Vec<usize> = p.iter().map(|pl| pl.first().0).collect();
+        assert_eq!(ids, vec![0, 128, 1, 129]);
+    }
+
+    #[test]
+    fn parse_abstract_names() {
+        assert_eq!(Places::parse("threads").unwrap(), Places::Threads(None));
+        assert_eq!(Places::parse("cores(16)").unwrap(), Places::Cores(Some(16)));
+        assert_eq!(
+            Places::parse("numa_domains(2)").unwrap(),
+            Places::NumaDomains(Some(2))
+        );
+        assert!(Places::parse("hyperthreads").is_err());
+        assert!(Places::parse("cores(x)").is_err());
+    }
+
+    #[test]
+    fn parse_explicit_singletons() {
+        let p = Places::parse("{0},{1},{2}").unwrap();
+        let Places::Explicit(list) = p else { panic!() };
+        assert_eq!(list.len(), 3);
+        assert_eq!(list[2], Place::single(HwThreadId(2)));
+    }
+
+    #[test]
+    fn parse_interval_and_stride() {
+        let Places::Explicit(list) = Places::parse("{0:4:2}").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            list[0].hw_threads(),
+            &[HwThreadId(0), HwThreadId(2), HwThreadId(4), HwThreadId(6)]
+        );
+    }
+
+    #[test]
+    fn parse_replication() {
+        // 8 places of 4 contiguous cpus each: {0-3},{4-7},...
+        let Places::Explicit(list) = Places::parse("{0:4}:8:4").unwrap() else {
+            panic!()
+        };
+        assert_eq!(list.len(), 8);
+        assert_eq!(list[7].first(), HwThreadId(28));
+        // Default stride = place length.
+        let Places::Explicit(list) = Places::parse("{0:4}:3").unwrap() else {
+            panic!()
+        };
+        assert_eq!(list[2].first(), HwThreadId(8));
+    }
+
+    #[test]
+    fn parse_multi_member_place() {
+        let Places::Explicit(list) = Places::parse("{0,64},{1,65}").unwrap() else {
+            panic!()
+        };
+        assert_eq!(list[0].hw_threads(), &[HwThreadId(0), HwThreadId(64)]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Places::parse("").is_err());
+        assert!(Places::parse("{").is_err());
+        assert!(Places::parse("{}").is_err());
+        assert!(Places::parse("{0:0}").is_err());
+        assert!(Places::parse("{0}:0").is_err());
+        assert!(Places::parse("{0:2:-1}").is_err()); // goes negative at k=1? 0,-1 → negative
+    }
+
+    #[test]
+    fn negative_stride_ok_when_non_negative_ids() {
+        let Places::Explicit(list) = Places::parse("{4:3:-2}").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            list[0].hw_threads(),
+            &[HwThreadId(0), HwThreadId(2), HwThreadId(4)]
+        );
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let p = Place::new(vec![HwThreadId(3), HwThreadId(1)]);
+        assert_eq!(p.to_string(), "{1,3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond machine size")]
+    fn resolve_rejects_out_of_range_explicit() {
+        let m = MachineSpec::vera();
+        Places::parse("{40}").unwrap().resolve(&m);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: describe an OpenMP-style region once, run it on both
+//! backends, and characterize its variability.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ompvar::core::{RunSet, Summary};
+use ompvar::epcc::run_many;
+use ompvar::rt::{Construct, NativeRuntime, RegionRunner, RegionSpec, RtConfig, Schedule, SimRuntime};
+use ompvar::topology::{MachineSpec, Places};
+
+fn main() {
+    // A region: 20 timed repetitions of {a dynamic parallel-for of 256
+    // 5 µs iterations, then a reduction}. Every thread executes this
+    // SPMD-style; the master's marker timestamps give per-rep times.
+    let n_threads = 4;
+    let region = RegionSpec::measured(
+        n_threads,
+        20, // outer repetitions (timed)
+        1,  // inner repetitions per timed rep
+        vec![
+            Construct::ParallelFor {
+                schedule: Schedule::Dynamic { chunk: 1 },
+                total_iters: 256,
+                body_us: 5.0,
+                ordered_us: None,
+                nowait: false,
+            },
+            Construct::Reduction { body_us: 0.5 },
+        ],
+    );
+
+    // Backend 1: the native runtime — real threads on this host, using
+    // the crate's own barrier/workshare primitives.
+    let native = NativeRuntime::new(RtConfig::unbound());
+    let res = native.run_region(&region, 0);
+    let s = Summary::of(res.reps());
+    println!(
+        "native : {} reps, mean {:8.1} µs, cv {:.4}, min {:8.1}, max {:8.1}",
+        s.n, s.mean, s.cv, s.min, s.max
+    );
+
+    // Backend 2: the simulated runtime — the same region on a modeled
+    // 32-core Vera node with OS noise, DVFS and pinning, deterministic
+    // in the seed.
+    let machine = MachineSpec::vera();
+    let sim = SimRuntime::new(
+        machine,
+        RtConfig::pinned_close(Places::Cores(Some(n_threads))),
+    );
+    let res = sim.run_region(&region, 42);
+    let s = Summary::of(res.reps());
+    println!(
+        "sim    : {} reps, mean {:8.1} µs, cv {:.4}, min {:8.1}, max {:8.1}",
+        s.n, s.mean, s.cv, s.min, s.max
+    );
+
+    // The paper's protocol: several independent runs, then run-to-run
+    // versus intra-run variability decomposition.
+    let rs: RunSet = run_many(&sim, &region, 10, 42);
+    let (between, within) = rs.variance_decomposition();
+    println!(
+        "10 simulated runs: run-mean spread {:.4}, variance {:.0}% between-run / {:.0}% within-run",
+        rs.run_spread(),
+        between * 100.0,
+        within * 100.0
+    );
+    if let Some(outlier) = rs.outlier_runs(3.5).first() {
+        println!("outlier run detected: run #{}", outlier + 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! # ompvar — performance-variability analysis for an OpenMP-style runtime
+//!
+//! Facade crate re-exporting the whole `ompvar` workspace. See the README
+//! for an overview and `DESIGN.md` for the system inventory.
+//!
+//! * [`topology`] — machine model, places, proc-bind affinity.
+//! * [`sim`] — discrete-event simulator: OS scheduler, noise, DVFS, memory.
+//! * [`rt`] — OpenMP-semantics runtime (native threads or simulated).
+//! * [`epcc`] — EPCC `schedbench`/`syncbench` micro-benchmarks.
+//! * [`stream`] — BabelStream memory-bandwidth benchmark.
+//! * [`core`] — variability characterization: run protocol and statistics.
+//! * [`harness`] — per-table/figure experiments reproducing the paper.
+
+pub use ompvar_bench_epcc as epcc;
+pub use ompvar_bench_stream as stream;
+pub use ompvar_core as core;
+pub use ompvar_harness as harness;
+pub use ompvar_rt as rt;
+pub use ompvar_sim as sim;
+pub use ompvar_topology as topology;
