@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(rt.run_region(&region, seed).freq_samples.len())
+                black_box(rt.run_region(&region, seed).expect("bench region completes").freq_samples.len())
             })
         });
     }

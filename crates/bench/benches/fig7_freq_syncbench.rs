@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(rt.run_region(&region, seed).wall_us)
+                black_box(rt.run_region(&region, seed).expect("bench region completes").wall_us)
             })
         });
     }

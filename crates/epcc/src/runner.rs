@@ -17,7 +17,9 @@ pub fn run_many<R: RegionRunner>(
 ) -> RunSet {
     let mut runs = Vec::with_capacity(n_runs);
     for i in 0..n_runs {
-        let res = rt.run_region(region, seed_base + i as u64);
+        let res = rt
+            .run_region(region, seed_base + i as u64)
+            .unwrap_or_else(|e| panic!("run {i}/{n_runs} on {} failed: {e}", rt.backend_name()));
         runs.push(res.reps().to_vec());
     }
     RunSet::new(runs)
@@ -34,7 +36,9 @@ pub fn run_many_full<R: RegionRunner>(
     let mut runs = Vec::with_capacity(n_runs);
     let mut full = Vec::with_capacity(n_runs);
     for i in 0..n_runs {
-        let res = rt.run_region(region, seed_base + i as u64);
+        let res = rt
+            .run_region(region, seed_base + i as u64)
+            .unwrap_or_else(|e| panic!("run {i}/{n_runs} on {} failed: {e}", rt.backend_name()));
         runs.push(res.reps().to_vec());
         full.push(res);
     }

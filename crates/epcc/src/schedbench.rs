@@ -94,7 +94,7 @@ mod tests {
         )
         .with_params(SimParams::sterile());
         let r = region(&cfg, Schedule::Static { chunk: 1 }, 4);
-        let res = rt.run_region(&r, 1);
+        let res = rt.run_region(&r, 1).expect("schedbench region completes");
         // 4 active cores on Vera boost to 3.5 of 3.7 GHz → delays run
         // ~5.7% slow vs. nominal; dispatch adds a little more.
         let rep = res.reps()[1];
@@ -112,7 +112,7 @@ mod tests {
                 RtConfig::pinned_close(Places::Threads(Some(n))),
             )
             .with_params(SimParams::sterile());
-            let res = rt.run_region(&region(&cfg, Schedule::Dynamic { chunk: 1 }, n), 1);
+            let res = rt.run_region(&region(&cfg, Schedule::Dynamic { chunk: 1 }, n), 1).expect("schedbench region completes");
             per_iter_overhead_us(&cfg, res.reps()[1])
         };
         let two = per_iter(2);

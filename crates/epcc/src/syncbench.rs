@@ -139,7 +139,7 @@ pub fn calibrate_inner_reps<R: RegionRunner>(
         ..*cfg
     };
     let probe = region_with_inner(&probe_cfg, construct, n_threads, probe_inner);
-    let res = rt.run_region(&probe, 0xCA11B);
+    let res = rt.run_region(&probe, 0xCA11B).expect("syncbench region completes");
     // Use the second repetition (the first may include warmup placement).
     let rep_us = res.reps()[1].max(1e-3);
     let per_op = rep_us / probe_inner as f64;
@@ -196,7 +196,7 @@ mod tests {
         let cfg = EpccConfig::syncbench_default().fast(2);
         for c in SyncConstruct::ALL {
             let region = region_with_inner(&cfg, c, 4, 5);
-            let res = rt(4).run_region(&region, 1);
+            let res = rt(4).run_region(&region, 1).expect("syncbench region completes");
             assert_eq!(res.reps().len(), 2, "{}", c.label());
             assert!(res.reps()[1] > 0.0, "{}", c.label());
         }
@@ -208,7 +208,7 @@ mod tests {
         let rt = rt(8);
         let inner = calibrate_inner_reps(&rt, &cfg, SyncConstruct::Barrier, 8, 10_000);
         assert!(inner > 1);
-        let res = rt.run_region(&region_with_inner(&cfg, SyncConstruct::Barrier, 8, inner), 1);
+        let res = rt.run_region(&region_with_inner(&cfg, SyncConstruct::Barrier, 8, inner), 1).expect("syncbench region completes");
         let rep = res.reps()[1];
         assert!(
             rep > cfg.test_time_us * 0.4 && rep < cfg.test_time_us * 2.5,
@@ -231,7 +231,7 @@ mod tests {
             SyncConstruct::Atomic,
             SyncConstruct::Reduction,
         ] {
-            let res = rt.run_region(&region_with_inner(&cfg, c, 16, inner), 1);
+            let res = rt.run_region(&region_with_inner(&cfg, c, 16, inner), 1).expect("syncbench region completes");
             costs.push((c.label(), overhead_us(&cfg, c, res.reps()[1], inner)));
         }
         let red = costs.iter().find(|(l, _)| *l == "reduction").unwrap().1;

@@ -109,7 +109,7 @@ mod tests {
         let cfg = EpccConfig::syncbench_default().fast(3);
         for pattern in TaskPattern::ALL {
             let region = region(&cfg, pattern, 8, 32);
-            let res = sim_rt(8).run_region(&region, 1);
+            let res = sim_rt(8).run_region(&region, 1).expect("taskbench region completes");
             assert_eq!(res.reps().len(), 3, "{}", pattern.label());
             assert!(res.reps()[1] > 0.0);
         }
@@ -123,7 +123,7 @@ mod tests {
         let mut cfg = EpccConfig::syncbench_default().fast(3);
         cfg.delay_us = 10.0;
         let region = region(&cfg, TaskPattern::MasterTask, 8, 64);
-        let res = sim_rt(8).run_region(&region, 1);
+        let res = sim_rt(8).run_region(&region, 1).expect("taskbench region completes");
         let rep = res.reps()[1];
         assert!(rep < 320.0, "rep {rep} µs — tasks not distributed");
         assert!(rep > 80.0, "rep {rep} µs — faster than the work itself");
@@ -134,7 +134,7 @@ mod tests {
         let cfg = EpccConfig::syncbench_default().fast(3);
         let oh = |n: usize| {
             let region = region(&cfg, TaskPattern::ParallelTask, n, 16);
-            let res = sim_rt(n).run_region(&region, 1);
+            let res = sim_rt(n).run_region(&region, 1).expect("taskbench region completes");
             overhead_per_task_us(&cfg, TaskPattern::ParallelTask, n, 16, res.reps()[1])
         };
         let small = oh(2);
@@ -151,7 +151,7 @@ mod tests {
         cfg.delay_us = 1.0;
         for pattern in TaskPattern::ALL {
             let r = region(&cfg, pattern, 2, 8);
-            let res = NativeRuntime::new(RtConfig::unbound()).run_region(&r, 0);
+            let res = NativeRuntime::new(RtConfig::unbound()).run_region(&r, 0).expect("taskbench region completes");
             assert_eq!(res.reps().len(), 2, "{}", pattern.label());
         }
     }

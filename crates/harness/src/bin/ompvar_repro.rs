@@ -7,16 +7,21 @@
 //! Each experiment prints its paper-style table(s), runs the shape checks
 //! against the paper's qualitative findings, and writes CSVs under the
 //! output directory (default `results/`).
+//!
+//! Experiments are isolated: a panicking experiment is reported as a
+//! synthesized FAIL check, and the sweep continues through the remaining
+//! experiments (the exit code still reflects the failure).
 
 use ompvar_harness::{
-    ablation, chunks, fig1, fig2, fig3, fig4, fig5, fig67, table2, taskbench_exp, ExpOptions,
-    ExpReport,
+    ablation, chunks, faults_exp, fig1, fig2, fig3, fig4, fig5, fig67, table2, taskbench_exp,
+    Check, ExpOptions, ExpReport,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "taskbench",
-    "chunks",
+    "chunks", "faults",
 ];
 
 fn usage() -> ! {
@@ -40,7 +45,33 @@ fn run_one(name: &str, opts: &ExpOptions) -> ExpReport {
         "ablation" => ablation::run(opts),
         "taskbench" => taskbench_exp::run(opts),
         "chunks" => chunks::run(opts),
-        _ => usage(),
+        "faults" => faults_exp::run(opts),
+        // Names are validated before any experiment runs.
+        other => unreachable!("unvalidated experiment name {other:?}"),
+    }
+}
+
+/// Run one experiment, converting a panic anywhere inside it into a
+/// synthesized FAIL report so the rest of the sweep still runs.
+fn run_isolated(name: &str, opts: &ExpOptions) -> ExpReport {
+    match catch_unwind(AssertUnwindSafe(|| run_one(name, opts))) {
+        Ok(report) => report,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            ExpReport {
+                name: name.to_string(),
+                tables: Vec::new(),
+                checks: vec![Check::new(
+                    "experiment completes without panicking",
+                    false,
+                    msg,
+                )],
+            }
+        }
     }
 }
 
@@ -60,21 +91,41 @@ fn main() -> ExitCode {
                 opts.out_dir = v.into();
             }
             "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
             other => targets.push(other.to_string()),
         }
     }
     if targets.is_empty() {
         usage();
     }
+    // Validate every requested name up front: a typo in the last target
+    // must not surface only after hours of earlier experiments.
+    if let Some(bad) = targets
+        .iter()
+        .find(|t| *t != "all" && !EXPERIMENTS.contains(&t.as_str()))
+    {
+        eprintln!("unknown experiment: {bad}");
+        usage();
+    }
     let names: Vec<&str> = if targets.iter().any(|t| t == "all") {
         EXPERIMENTS.to_vec()
     } else {
-        targets.iter().map(|s| s.as_str()).collect()
+        // Dedupe while preserving first-occurrence order.
+        let mut seen = Vec::new();
+        for t in &targets {
+            if !seen.contains(&t.as_str()) {
+                seen.push(t.as_str());
+            }
+        }
+        seen
     };
     let mut all_ok = true;
     for name in names {
         let t0 = std::time::Instant::now();
-        let report = run_one(name, &opts);
+        let report = run_isolated(name, &opts);
         print!("{}", report.render());
         match report.write_csvs(&opts.out_dir) {
             Ok(paths) => {

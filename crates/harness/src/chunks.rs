@@ -38,7 +38,7 @@ pub fn sweep(
         .iter()
         .map(|&chunk| {
             let region = schedbench::region(&cfg, make(chunk), n_threads);
-            let res = rt.run_region(&region, opts.seed);
+            let res = rt.run_region(&region, opts.seed).expect("experiment region completes");
             let mean = res.reps().iter().sum::<f64>() / res.reps().len() as f64;
             (chunk, schedbench::per_iter_overhead_us(&cfg, mean))
         })

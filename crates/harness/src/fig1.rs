@@ -60,7 +60,7 @@ pub fn construct_costs(
         .map(|&c| {
             let inner = syncbench::calibrate_inner_reps(&rt, &cfg, c, n, inner_cap(opts, n));
             let region = syncbench::region_with_inner(&cfg, c, n, inner);
-            let res = rt.run_region(&region, opts.seed);
+            let res = rt.run_region(&region, opts.seed).expect("experiment region completes");
             let mean = res.reps().iter().sum::<f64>() / res.reps().len() as f64;
             (c, syncbench::overhead_us(&cfg, c, mean, inner))
         })

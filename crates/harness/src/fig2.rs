@@ -25,7 +25,7 @@ pub fn scaling_series(opts: &ExpOptions, platform: Platform) -> Vec<(usize, f64)
         .into_iter()
         .map(|n| {
             let rt = platform.pinned_rt(n);
-            let res = rt.run_region(&region(&cfg, n), opts.seed);
+            let res = rt.run_region(&region(&cfg, n), opts.seed).expect("experiment region completes");
             let stats = kernel_stats(&res);
             let avg_ms = StreamKernel::ALL
                 .iter()

@@ -110,7 +110,7 @@ pub fn envelope(opts: &ExpOptions, platform: Platform, bench: Bench, n: usize) -
             let mut los = Vec::new();
             let mut his = Vec::new();
             for i in 0..opts.n_runs() {
-                let res = rt.run_region(&region, opts.seed + i as u64);
+                let res = rt.run_region(&region, opts.seed + i as u64).expect("experiment region completes");
                 let stats = kernel_stats(&res);
                 los.push(
                     StreamKernel::ALL

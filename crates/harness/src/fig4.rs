@@ -71,7 +71,7 @@ pub fn stream_spreads(opts: &ExpOptions) -> (KernelSpreads, KernelSpreads) {
         let mut worst: Vec<(StreamKernel, f64)> =
             StreamKernel::ALL.iter().map(|&k| (k, 0.0)).collect();
         for i in 0..opts.n_runs() {
-            let res = rt.run_region(&region, opts.seed + i as u64);
+            let res = rt.run_region(&region, opts.seed + i as u64).expect("experiment region completes");
             let stats = kernel_stats(&res);
             for (k, w) in worst.iter_mut() {
                 let s = stats[k].max_us / stats[k].min_us;

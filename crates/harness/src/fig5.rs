@@ -96,7 +96,7 @@ pub fn stream_envelopes(opts: &ExpOptions) -> ((f64, f64), (f64, f64)) {
     let envelope = |rt: &ompvar_rt::simrt::SimRuntime| {
         let (mut time_sum, mut spread_sum, mut count) = (0.0, 0.0, 0usize);
         for i in 0..opts.n_runs() {
-            let res = rt.run_region(&region, opts.seed + i as u64);
+            let res = rt.run_region(&region, opts.seed + i as u64).expect("experiment region completes");
             let stats = kernel_stats(&res);
             for k in StreamKernel::ALL {
                 time_sum += stats[&k].avg_us;

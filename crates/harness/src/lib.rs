@@ -18,3 +18,4 @@ pub mod fig67;
 pub mod ablation;
 pub mod taskbench_exp;
 pub mod chunks;
+pub mod faults_exp;

@@ -32,7 +32,7 @@ pub fn scaling_series(
         .map(|n| {
             let rt = platform.pinned_rt(n);
             let region = taskbench::region(&cfg, pattern, n, tasks);
-            let res = rt.run_region(&region, opts.seed);
+            let res = rt.run_region(&region, opts.seed).expect("experiment region completes");
             let mean = res.reps().iter().sum::<f64>() / res.reps().len() as f64;
             (
                 n,

@@ -29,7 +29,72 @@ fn fast_table2_prints_table_and_checks() {
 fn unknown_experiment_fails_with_usage() {
     let out = repro().arg("fig99").output().expect("binary runs");
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment: fig99"), "{stderr}");
+    assert!(stderr.contains("usage:"));
+}
+
+/// A typo anywhere in the target list is rejected before any experiment
+/// runs — the valid first target must not start.
+#[test]
+fn late_unknown_experiment_rejected_up_front() {
+    let out = repro()
+        .args(["--fast", "fig2", "fig99"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment: fig99"));
+    // fig2 must not have produced any output before the rejection.
+    assert!(out.stdout.is_empty(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let out = repro()
+        .args(["--frobnicate", "fig2"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag: --frobnicate"), "{stderr}");
+    assert!(stderr.contains("usage:"));
+}
+
+/// Duplicate targets run once (first-occurrence order).
+#[test]
+fn duplicate_targets_are_deduped() {
+    let out_dir = std::env::temp_dir().join("ompvar_cli_dedupe");
+    let out = repro()
+        .args(["--fast", "--out"])
+        .arg(&out_dir)
+        .args(["fig2", "fig2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("==== fig2 ====").count(), 1, "{stdout}");
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+/// The faults experiment completes in fast mode, prints its sweep table
+/// (including the diagnosed deadlock cell), and writes its CSV.
+#[test]
+fn faults_fast_reports_diagnosed_deadlock() {
+    let out_dir = std::env::temp_dir().join("ompvar_cli_faults");
+    let out = repro()
+        .args(["--fast", "--out"])
+        .arg(&out_dir)
+        .arg("faults")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("lost-wakeup"), "{stdout}");
+    assert!(stdout.contains("simulation deadlock"), "{stdout}");
+    assert!(stdout.contains("waiting on"), "{stdout}");
+    assert!(!stdout.contains("[FAIL]"), "{stdout}");
+    assert!(out_dir.join("faults_0.csv").exists());
+    std::fs::remove_dir_all(&out_dir).ok();
 }
 
 #[test]

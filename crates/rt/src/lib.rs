@@ -22,12 +22,14 @@
 //! `OMP_PLACES`/`OMP_PROC_BIND`.
 
 pub mod config;
+pub mod error;
 pub mod native;
 pub mod region;
 pub mod runner;
 pub mod simrt;
 
 pub use config::{RegionResult, RtConfig};
+pub use error::RtError;
 pub use native::NativeRuntime;
 pub use region::{Construct, RegionSpec, Schedule};
 pub use runner::RegionRunner;

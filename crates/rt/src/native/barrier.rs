@@ -37,6 +37,20 @@ impl SenseBarrier {
     /// flag; it must start `false` and be passed by reference to every
     /// wait on this barrier.
     pub fn wait(&self, local_sense: &mut bool) {
+        let ok = self.wait_impl(local_sense, None);
+        debug_assert!(ok, "unbounded barrier wait cannot fail");
+    }
+
+    /// Deadline-bounded wait: like [`SenseBarrier::wait`], but gives up
+    /// and returns `false` once `guard` expires. A `false` return leaves
+    /// the barrier corrupt for this team — callers must abandon the run
+    /// (the guard's stickiness makes every teammate do the same).
+    #[must_use]
+    pub fn wait_bounded(&self, local_sense: &mut bool, guard: &super::guard::RunGuard) -> bool {
+        self.wait_impl(local_sense, Some(guard))
+    }
+
+    fn wait_impl(&self, local_sense: &mut bool, guard: Option<&super::guard::RunGuard>) -> bool {
         *local_sense = !*local_sense;
         let expected = *local_sense;
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -48,12 +62,18 @@ impl SenseBarrier {
             while self.sense.load(Ordering::Acquire) != expected {
                 spins = spins.wrapping_add(1);
                 if spins.is_multiple_of(1024) {
+                    if let Some(g) = guard {
+                        if g.expired() {
+                            return false;
+                        }
+                    }
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();
                 }
             }
         }
+        true
     }
 }
 

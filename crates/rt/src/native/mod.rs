@@ -12,16 +12,19 @@
 pub mod affinity;
 pub mod barrier;
 pub mod delay;
+pub mod guard;
 pub mod workshare;
 
 use crate::config::{RegionResult, RtConfig};
+use crate::error::RtError;
 use crate::region::{Construct, RegionSpec};
 use barrier::SenseBarrier;
 use delay::delay;
+use guard::RunGuard;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use workshare::{LoopCursor, NativeLoop};
 
 /// One allocated native sync object, aligned with the construct traversal.
@@ -49,8 +52,10 @@ impl NativePool {
     }
 
     /// Execute queued tasks until the pool drains, then wait for every
-    /// outstanding task to complete.
-    fn exec_and_wait(&self) {
+    /// outstanding task to complete. Returns `false` once `guard`
+    /// expires while tasks are still outstanding.
+    #[must_use]
+    fn exec_and_wait(&self, guard: &RunGuard) -> bool {
         loop {
             let job = self.queue.lock().pop_front();
             match job {
@@ -65,6 +70,9 @@ impl NativePool {
         while self.outstanding.load(Ordering::Acquire) > 0 {
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(512) {
+                if guard.expired() {
+                    return false;
+                }
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -75,6 +83,7 @@ impl NativePool {
                 self.outstanding.fetch_sub(1, Ordering::AcqRel);
             }
         }
+        true
     }
 }
 
@@ -95,16 +104,31 @@ enum NObj {
 pub struct NativeRuntime {
     /// Affinity configuration applied to the team.
     pub config: RtConfig,
+    /// Wall-clock budget for one region run. Spinning waits (barriers,
+    /// ordered tickets, task-pool drains) give up once it passes and the
+    /// run returns [`RtError::Timeout`] instead of hanging; `None`
+    /// disables the watchdog.
+    pub deadline: Option<Duration>,
 }
 
 impl NativeRuntime {
-    /// New runtime with the given affinity configuration.
+    /// New runtime with the given affinity configuration and the
+    /// default 60 s region deadline.
     pub fn new(config: RtConfig) -> Self {
-        NativeRuntime { config }
+        NativeRuntime {
+            config,
+            deadline: Some(Duration::from_secs(60)),
+        }
+    }
+
+    /// Override the region deadline (`None` disables it).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Execute `region` with real threads and return the measured result.
-    pub fn run(&self, region: &RegionSpec) -> RegionResult {
+    pub fn run(&self, region: &RegionSpec) -> Result<RegionResult, RtError> {
         let n = region.n_threads;
         let mut objs = Vec::new();
         allocate(&region.constructs, n, &mut objs);
@@ -114,13 +138,17 @@ impl NativeRuntime {
         // beyond the host degrade to unpinned threads.
         let assignment = host_assignment(&self.config, n);
 
+        let guard = RunGuard::new(self.deadline);
         let t0 = Instant::now();
         let marks: Mutex<Vec<(u32, f64)>> = Mutex::new(Vec::new());
+        let first_timeout: Mutex<Option<&'static str>> = Mutex::new(None);
         std::thread::scope(|s| {
             for rank in 0..n {
                 let objs = &objs;
                 let constructs = &region.constructs;
                 let marks = &marks;
+                let guard = &guard;
+                let first_timeout = &first_timeout;
                 let place = assignment.get(rank).cloned().flatten();
                 s.spawn(move || {
                     if let Some(p) = place {
@@ -135,14 +163,25 @@ impl NativeRuntime {
                         cursor: vec![LoopCursor::default(); objs.len()],
                         local_marks: Vec::new(),
                         t0,
+                        guard,
                     };
-                    interpret(constructs, objs, &mut ctx, &mut 0);
+                    if let Err(construct) = interpret(constructs, objs, &mut ctx, &mut 0) {
+                        let mut slot = first_timeout.lock();
+                        slot.get_or_insert(construct);
+                        return;
+                    }
                     if rank == 0 {
                         marks.lock().extend(ctx.local_marks);
                     }
                 });
             }
         });
+        if let Some(construct) = first_timeout.into_inner() {
+            return Err(RtError::Timeout {
+                construct,
+                deadline: guard.budget().unwrap_or_default(),
+            });
+        }
         let wall_us = t0.elapsed().as_secs_f64() * 1e6;
 
         // Pair up begin/end marks per id.
@@ -161,13 +200,13 @@ impl NativeRuntime {
             assert_eq!(b.len(), e.len(), "unpaired markers for interval {k}");
             intervals_us.insert(k, b.iter().zip(&e).map(|(b, e)| e - b).collect());
         }
-        RegionResult {
+        Ok(RegionResult {
             intervals_us,
             wall_us,
             freq_samples: Vec::new(),
             counters: None,
             thread_stats: Vec::new(),
-        }
+        })
     }
 }
 
@@ -193,7 +232,7 @@ fn host_assignment(
     }
 }
 
-struct ThreadCtx {
+struct ThreadCtx<'a> {
     rank: usize,
     /// Per-object local sense flags (indexed like the object table).
     sense: Vec<bool>,
@@ -202,9 +241,11 @@ struct ThreadCtx {
     /// Master-thread timestamps: (marker, µs since region start).
     local_marks: Vec<(u32, f64)>,
     t0: Instant,
+    /// Shared run deadline consulted by every bounded wait.
+    guard: &'a RunGuard,
 }
 
-impl ThreadCtx {
+impl ThreadCtx<'_> {
     fn now_us(&self) -> f64 {
         self.t0.elapsed().as_secs_f64() * 1e6
     }
@@ -266,8 +307,14 @@ fn allocate(cs: &[Construct], n: usize, out: &mut Vec<NObj>) {
 }
 
 /// Interpret the construct list for one thread. `idx` walks the object
-/// table in the same order as [`allocate`].
-fn interpret(cs: &[Construct], objs: &[NObj], ctx: &mut ThreadCtx, idx: &mut usize) {
+/// table in the same order as [`allocate`]. Returns the construct kind
+/// that was waiting when the run deadline expired, if it did.
+fn interpret(
+    cs: &[Construct],
+    objs: &[NObj],
+    ctx: &mut ThreadCtx<'_>,
+    idx: &mut usize,
+) -> Result<(), &'static str> {
     for c in cs {
         let my = *idx;
         *idx += 1;
@@ -283,7 +330,9 @@ fn interpret(cs: &[Construct], objs: &[NObj], ctx: &mut ThreadCtx, idx: &mut usi
             }
             Construct::Barrier => {
                 let NObj::Barrier(b) = &objs[my] else { unreachable!() };
-                b.wait(&mut ctx.sense[2 * my]);
+                if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
+                    return Err("barrier");
+                }
             }
             Construct::Critical { body_us } | Construct::LockUnlock { body_us } => {
                 let NObj::Lock(l) = &objs[my] else { unreachable!() };
@@ -303,7 +352,9 @@ fn interpret(cs: &[Construct], objs: &[NObj], ctx: &mut ThreadCtx, idx: &mut usi
                 if count.fetch_add(1, Ordering::AcqRel) % n == 0 {
                     delay(*body_us);
                 }
-                b.wait(&mut ctx.sense[2 * my]);
+                if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
+                    return Err("single");
+                }
             }
             Construct::Reduction { body_us } => {
                 let NObj::LockWithBarrier(acc, b) = &objs[my] else {
@@ -311,7 +362,9 @@ fn interpret(cs: &[Construct], objs: &[NObj], ctx: &mut ThreadCtx, idx: &mut usi
                 };
                 delay(*body_us);
                 *acc.lock() += ctx.rank as f64 + 1.0;
-                b.wait(&mut ctx.sense[2 * my]);
+                if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
+                    return Err("reduction");
+                }
             }
             Construct::ParallelFor { body_us, .. } => {
                 let NObj::LoopWithBarrier(lp, bar, ordered) = &objs[my] else {
@@ -331,7 +384,9 @@ fn interpret(cs: &[Construct], objs: &[NObj], ctx: &mut ThreadCtx, idx: &mut usi
                         Some(section_us) => {
                             for i in first..first + len {
                                 delay(*body_us);
-                                lp.wait_ticket(i);
+                                if !lp.wait_ticket_bounded(i, ctx.guard) {
+                                    return Err("ordered section");
+                                }
                                 delay(*section_us);
                                 lp.ticket_done();
                             }
@@ -339,16 +394,22 @@ fn interpret(cs: &[Construct], objs: &[NObj], ctx: &mut ThreadCtx, idx: &mut usi
                     }
                 }
                 if let Some(b) = bar {
-                    b.wait(&mut ctx.sense[2 * my]);
+                    if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
+                        return Err("loop barrier");
+                    }
                 }
             }
             Construct::ParallelRegion { body } => {
                 let NObj::RegionBarriers(entry, exit) = &objs[my] else {
                     unreachable!()
                 };
-                entry.wait(&mut ctx.sense[2 * my]);
-                interpret(body, objs, ctx, idx);
-                exit.wait(&mut ctx.sense[2 * my + 1]);
+                if !entry.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
+                    return Err("region entry barrier");
+                }
+                interpret(body, objs, ctx, idx)?;
+                if !exit.wait_bounded(&mut ctx.sense[2 * my + 1], ctx.guard) {
+                    return Err("region exit barrier");
+                }
             }
             Construct::Tasks {
                 per_spawner,
@@ -366,9 +427,15 @@ fn interpret(cs: &[Construct], objs: &[NObj], ctx: &mut ThreadCtx, idx: &mut usi
                 if !master_only || ctx.rank == 0 {
                     pool.spawn(*body_us, *per_spawner);
                 }
-                after_spawn.wait(&mut ctx.sense[2 * my]);
-                pool.exec_and_wait();
-                fin.wait(&mut ctx.sense[2 * fin_idx]);
+                if !after_spawn.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
+                    return Err("task spawn barrier");
+                }
+                if !pool.exec_and_wait(ctx.guard) {
+                    return Err("taskwait");
+                }
+                if !fin.wait_bounded(&mut ctx.sense[2 * fin_idx], ctx.guard) {
+                    return Err("task final barrier");
+                }
             }
             Construct::MarkBegin(k) => {
                 if ctx.rank == 0 {
@@ -384,11 +451,12 @@ fn interpret(cs: &[Construct], objs: &[NObj], ctx: &mut ThreadCtx, idx: &mut usi
                 let body_start = *idx;
                 for _ in 0..*count {
                     *idx = body_start;
-                    interpret(body, objs, ctx, idx);
+                    interpret(body, objs, ctx, idx)?;
                 }
             }
         }
     }
+    Ok(())
 }
 
 /// Touch `bytes` of memory with a streaming pattern (BabelStream-style
@@ -416,7 +484,7 @@ mod tests {
     #[test]
     fn measured_barrier_region_runs() {
         let region = RegionSpec::measured(2, 4, 5, vec![Construct::Barrier]);
-        let res = rt().run(&region);
+        let res = rt().run(&region).expect("native region completes");
         assert_eq!(res.reps().len(), 4);
         assert!(res.reps().iter().all(|&r| r >= 0.0));
     }
@@ -440,7 +508,7 @@ mod tests {
                     nowait: false,
                 }],
             );
-            let res = rt().run(&region);
+            let res = rt().run(&region).expect("native region completes");
             assert_eq!(res.reps().len(), 2);
             // On an oversubscribed host a single rep interval can be tiny
             // (the other thread may drain a dynamic loop before the
@@ -464,7 +532,7 @@ mod tests {
                 nowait: false,
             }],
         );
-        let res = rt().run(&region);
+        let res = rt().run(&region).expect("native region completes");
         assert_eq!(res.reps().len(), 2);
     }
 
@@ -482,7 +550,7 @@ mod tests {
                 Construct::LockUnlock { body_us: 1.0 },
             ],
         );
-        let res = rt().run(&region);
+        let res = rt().run(&region).expect("native region completes");
         assert_eq!(res.reps().len(), 3);
     }
 
@@ -496,12 +564,32 @@ mod tests {
                 body: vec![Construct::DelayUs(2.0)],
             }],
         );
-        let res = rt().run(&region);
+        let res = rt().run(&region).expect("native region completes");
         assert_eq!(res.reps().len(), 3);
     }
 
     #[test]
     fn stream_bytes_touches_memory() {
         stream_bytes(1 << 16);
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout_instead_of_hanging() {
+        let rt = rt().with_deadline(Some(Duration::ZERO));
+        let region = RegionSpec::measured(2, 2, 2, vec![Construct::Barrier]);
+        match rt.run(&region) {
+            Err(RtError::Timeout { construct, .. }) => {
+                assert!(!construct.is_empty());
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_deadline_still_completes() {
+        let rt = rt().with_deadline(None);
+        let region = RegionSpec::measured(2, 2, 2, vec![Construct::Barrier]);
+        let res = rt.run(&region).expect("region completes");
+        assert_eq!(res.reps().len(), 2);
     }
 }

@@ -112,15 +112,33 @@ impl NativeLoop {
 
     /// Spin until iteration `iter` may enter its ordered section.
     pub fn wait_ticket(&self, iter: u64) {
+        let ok = self.wait_ticket_impl(iter, None);
+        debug_assert!(ok, "unbounded ticket wait cannot fail");
+    }
+
+    /// Deadline-bounded ticket wait: returns `false` once `guard`
+    /// expires; the run must then be abandoned.
+    #[must_use]
+    pub fn wait_ticket_bounded(&self, iter: u64, guard: &super::guard::RunGuard) -> bool {
+        self.wait_ticket_impl(iter, Some(guard))
+    }
+
+    fn wait_ticket_impl(&self, iter: u64, guard: Option<&super::guard::RunGuard>) -> bool {
         let mut spins = 0u32;
         while self.ticket.load(Ordering::Acquire) != iter {
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(512) {
+                if let Some(g) = guard {
+                    if g.expired() {
+                        return false;
+                    }
+                }
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
             }
         }
+        true
     }
 
     /// Leave the ordered section: allow the next iteration in.

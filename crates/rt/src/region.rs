@@ -242,7 +242,7 @@ mod tests {
         let r = RegionSpec::measured(4, 10, 5, vec![Construct::Barrier]);
         // Warm-up block first, unmeasured.
         let Construct::Repeat { count, body } = &r.constructs[0] else {
-            panic!()
+            panic!("measured() must emit a warm-up Repeat first, got {:?}", r.constructs[0])
         };
         assert_eq!(*count, 2);
         assert!(!body
@@ -250,7 +250,7 @@ mod tests {
             .any(|c| matches!(c, Construct::MarkBegin(_) | Construct::MarkEnd(_))));
         // Then the measured block.
         let Construct::Repeat { count, body } = &r.constructs[1] else {
-            panic!()
+            panic!("measured() must emit the measured Repeat second, got {:?}", r.constructs[1])
         };
         assert_eq!(*count, 10);
         assert!(matches!(body[0], Construct::Barrier));

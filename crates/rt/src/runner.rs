@@ -1,6 +1,7 @@
 //! Backend abstraction: anything that can execute a region.
 
 use crate::config::RegionResult;
+use crate::error::RtError;
 use crate::native::NativeRuntime;
 use crate::region::RegionSpec;
 use crate::simrt::SimRuntime;
@@ -10,14 +11,18 @@ pub trait RegionRunner {
     /// Execute `region`. `seed` determines all stochastic behaviour on
     /// the simulated backend and is ignored by the native backend (real
     /// hardware provides its own entropy).
-    fn run_region(&self, region: &RegionSpec, seed: u64) -> RegionResult;
+    ///
+    /// A run that cannot complete — simulated deadlock, exhausted
+    /// virtual-time budget, native deadline violation — returns a typed
+    /// [`RtError`] instead of hanging or panicking.
+    fn run_region(&self, region: &RegionSpec, seed: u64) -> Result<RegionResult, RtError>;
 
     /// Short backend label for reports.
     fn backend_name(&self) -> &'static str;
 }
 
 impl RegionRunner for SimRuntime {
-    fn run_region(&self, region: &RegionSpec, seed: u64) -> RegionResult {
+    fn run_region(&self, region: &RegionSpec, seed: u64) -> Result<RegionResult, RtError> {
         self.run(region, seed)
     }
 
@@ -27,7 +32,7 @@ impl RegionRunner for SimRuntime {
 }
 
 impl RegionRunner for NativeRuntime {
-    fn run_region(&self, region: &RegionSpec, _seed: u64) -> RegionResult {
+    fn run_region(&self, region: &RegionSpec, _seed: u64) -> Result<RegionResult, RtError> {
         self.run(region)
     }
 
@@ -57,6 +62,7 @@ mod tests {
             (sim.run_region(&region, 1), sim.backend_name()),
             (nat.run_region(&region, 1), nat.backend_name()),
         ] {
+            let res = res.unwrap_or_else(|e| panic!("{name} backend failed: {e}"));
             assert_eq!(res.reps().len(), 2, "{name}");
         }
     }

@@ -8,8 +8,10 @@
 //! allocation sequence by index.
 
 use crate::config::{RegionResult, RtConfig};
+use crate::error::RtError;
 use crate::region::{delay_cycles, Construct, RegionSpec, Schedule};
 use ompvar_sim::engine::Simulator;
+use ompvar_sim::fault::FaultPlan;
 use ompvar_sim::params::SimParams;
 use ompvar_sim::sync::{LoopSchedule, LoopSpec};
 use ompvar_sim::task::{CorunClass, ObjId, Op, Program, TaskId};
@@ -54,6 +56,8 @@ pub struct SimRuntime {
     pub freq_logger: Option<FreqLoggerCfg>,
     /// Virtual-time budget for one region run.
     pub time_limit: Time,
+    /// Fault injections delivered during every run (empty: none).
+    pub faults: FaultPlan,
 }
 
 impl SimRuntime {
@@ -66,6 +70,7 @@ impl SimRuntime {
             config,
             freq_logger: None,
             time_limit: 3_000 * SEC,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -78,6 +83,18 @@ impl SimRuntime {
     /// Enable the frequency logger.
     pub fn with_freq_logger(mut self, cfg: FreqLoggerCfg) -> Self {
         self.freq_logger = Some(cfg);
+        self
+    }
+
+    /// Inject `faults` into every run of this runtime.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the virtual-time budget for one region run.
+    pub fn with_time_limit(mut self, limit: Time) -> Self {
+        self.time_limit = limit;
         self
     }
 
@@ -108,7 +125,11 @@ impl SimRuntime {
     }
 
     /// Run `region`, deterministically from `seed`.
-    pub fn run(&self, region: &RegionSpec, seed: u64) -> RegionResult {
+    ///
+    /// Returns [`RtError::Sim`] when the engine stops early: a deadlock
+    /// (with per-task blocked-on diagnostics), the virtual-time budget
+    /// in [`SimRuntime::time_limit`], or a malformed program.
+    pub fn run(&self, region: &RegionSpec, seed: u64) -> Result<RegionResult, RtError> {
         let mut sim = Simulator::new(self.machine.clone(), self.params.clone(), seed);
         let span = self.span_factor(region);
         let mut lower = Lowerer {
@@ -147,7 +168,10 @@ impl SimRuntime {
         if let Some(cfg) = self.freq_logger {
             sim.enable_freq_logger(cfg.cpu, cfg.period, cfg.cost);
         }
-        let report = sim.run(self.time_limit);
+        if !self.faults.is_empty() {
+            sim.inject_faults(&self.faults);
+        }
+        let report = sim.run(self.time_limit).map_err(RtError::Sim)?;
         let master = master.expect("team is non-empty");
         let mut result = RegionResult {
             wall_us: report.final_time as f64 / 1e3,
@@ -164,7 +188,7 @@ impl SimRuntime {
                 .collect();
             result.intervals_us.insert(k, us);
         }
-        result
+        Ok(result)
     }
 }
 
@@ -443,7 +467,7 @@ mod tests {
     fn measured_region_produces_rep_times() {
         let rt = small_runtime();
         let region = RegionSpec::measured(8, 5, 10, vec![Construct::Barrier]);
-        let res = rt.run(&region, 1);
+        let res = rt.run(&region, 1).expect("region completes");
         assert_eq!(res.reps().len(), 5);
         assert!(res.reps().iter().all(|&r| r > 0.0));
         assert!(res.wall_us > 0.0);
@@ -453,8 +477,8 @@ mod tests {
     fn sterile_runs_are_identical_and_stable() {
         let rt = small_runtime();
         let region = RegionSpec::measured(8, 6, 10, vec![Construct::Reduction { body_us: 0.1 }]);
-        let a = rt.run(&region, 1);
-        let b = rt.run(&region, 2);
+        let a = rt.run(&region, 1).expect("region completes");
+        let b = rt.run(&region, 2).expect("region completes");
         // With no noise, different seeds give identical results.
         assert_eq!(a.reps(), b.reps());
         // And repetitions are essentially constant.
@@ -469,8 +493,8 @@ mod tests {
         let rt = small_runtime();
         let bar = RegionSpec::measured(8, 3, 20, vec![Construct::Barrier]);
         let red = RegionSpec::measured(8, 3, 20, vec![Construct::Reduction { body_us: 0.1 }]);
-        let tb = rt.run(&bar, 1).reps()[1];
-        let tr = rt.run(&red, 1).reps()[1];
+        let tb = rt.run(&bar, 1).expect("region completes").reps()[1];
+        let tr = rt.run(&red, 1).expect("region completes").reps()[1];
         assert!(tr > tb, "reduction {tr} vs barrier {tb}");
     }
 
@@ -489,7 +513,7 @@ mod tests {
                 nowait: false,
             }],
         );
-        let res = rt.run(&region, 7);
+        let res = rt.run(&region, 7).expect("region completes");
         // 128 iters/thread × ~15.9 µs ≈ 2 ms per rep.
         for &r in res.reps() {
             assert!(r > 1_500.0 && r < 3_500.0, "rep {r} µs");
@@ -502,7 +526,7 @@ mod tests {
         let rt = SimRuntime::new(machine, RtConfig::unbound())
             .with_params(SimParams::sterile());
         let region = RegionSpec::measured(8, 3, 5, vec![Construct::Barrier]);
-        let res = rt.run(&region, 3);
+        let res = rt.run(&region, 3).expect("region completes");
         assert_eq!(res.reps().len(), 3);
     }
 
@@ -519,7 +543,7 @@ mod tests {
             });
         let region =
             RegionSpec::measured(8, 3, 3, vec![Construct::DelayUs(100.0), Construct::Barrier]);
-        let res = rt.run(&region, 1);
+        let res = rt.run(&region, 1).expect("region completes");
         assert!(!res.freq_samples.is_empty());
     }
 
@@ -535,8 +559,8 @@ mod tests {
                 body: vec![Construct::DelayUs(1.0)],
             }],
         );
-        let tp = rt.run(&plain, 1).reps()[1];
-        let tw = rt.run(&wrapped, 1).reps()[1];
+        let tp = rt.run(&plain, 1).expect("region completes").reps()[1];
+        let tw = rt.run(&wrapped, 1).expect("region completes").reps()[1];
         assert!(tw > tp, "wrapped {tw} vs plain {tp}");
     }
 }

@@ -20,7 +20,9 @@
 //! the CPU's event token to invalidate the stale boundary event, and
 //! schedules a fresh one.
 
+use crate::error::{BlockedOn, BlockedTask, SimError};
 use crate::events::{EventKind, EventQueue};
+use crate::fault::{Fault, FaultEvent, FaultPlan};
 use crate::params::{NoisePlacement, SimParams};
 use crate::rng::Rng;
 use crate::sync::{AtomicObj, BarrierObj, LockObj, LoopObj, LoopSpec, SingleObj, SyncObj, TaskPoolObj};
@@ -52,6 +54,8 @@ struct Cpu {
     /// NUMA domain this CPU is currently streaming against (cache of
     /// membership in `DomainState::streamers`).
     streaming: Option<usize>,
+    /// Taken down by a hotplug fault: accepts no new work.
+    offline: bool,
 }
 
 impl Cpu {
@@ -65,6 +69,7 @@ impl Cpu {
             quantum_end: 0,
             since: 0,
             streaming: None,
+            offline: false,
         }
     }
 
@@ -86,6 +91,8 @@ struct Socket {
     pulse_token: u64,
     /// Whether a pulse chain is currently scheduled.
     pulse_armed: bool,
+    /// Thermal-capping fault: ceiling on the applied frequency, if any.
+    cap_ghz: Option<f64>,
     /// Dedicated random stream for this socket's pulse process.
     rng: Rng,
 }
@@ -145,6 +152,20 @@ pub struct Simulator {
     freq_samples: Vec<FreqSample>,
     counters: Counters,
     started: bool,
+    /// First unrecoverable error raised inside an event handler; checked
+    /// after every event so `run` can return it without threading
+    /// `Result` through the whole interpreter.
+    fatal: Option<SimError>,
+    /// Scheduled fault injections (see [`FaultPlan`]).
+    fault_plan: Vec<FaultEvent>,
+    /// One dedicated random stream per fault event.
+    fault_rngs: Vec<Rng>,
+    /// Parent stream the per-fault streams fork from.
+    rng_fault: Rng,
+    /// Pending lost-wakeup count: `wake()` swallows this many wakeups.
+    lost_wakeups_armed: u32,
+    /// Optional hard cap on processed events.
+    event_budget: Option<u64>,
 }
 
 impl Simulator {
@@ -160,6 +181,7 @@ impl Simulator {
                 pulse_active: false,
                 pulse_token: 0,
                 pulse_armed: false,
+                cap_ghz: None,
                 rng: root.fork("socket-freq", s as u64),
             })
             .collect();
@@ -200,6 +222,12 @@ impl Simulator {
             freq_samples: Vec::new(),
             counters: Counters::default(),
             started: false,
+            fatal: None,
+            fault_plan: Vec::new(),
+            fault_rngs: Vec::new(),
+            rng_fault: root.fork("fault", 0),
+            lost_wakeups_armed: 0,
+            event_budget: None,
             machine,
             params,
             now: 0,
@@ -294,6 +322,25 @@ impl Simulator {
     pub fn enable_freq_logger(&mut self, cpu: Option<usize>, period: Time, cost: Time) {
         assert!(period > 0);
         self.logger = Some(LoggerCfg { cpu, period, cost });
+    }
+
+    /// Attach a fault plan. Each fault draws its randomness from a
+    /// dedicated sub-stream of the simulation seed, so the injection
+    /// schedule is bit-identical per seed and attaching a plan does not
+    /// perturb any other model stream.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        assert!(!self.started, "faults must be injected before run()");
+        self.fault_plan = plan.events.clone();
+        self.fault_rngs = (0..self.fault_plan.len())
+            .map(|i| self.rng_fault.fork("fault-evt", i as u64))
+            .collect();
+    }
+
+    /// Abort the run with [`SimError::EventBudgetExceeded`] once more
+    /// than `budget` events have been processed — a backstop against
+    /// runaway event chains.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = Some(budget);
     }
 
     // ------------------------------------------------------------------
@@ -601,17 +648,49 @@ impl Simulator {
     // The op interpreter
     // ------------------------------------------------------------------
 
+    /// Short label of a sync object's kind, for diagnostics.
+    fn obj_kind(obj: &SyncObj) -> &'static str {
+        match obj {
+            SyncObj::Barrier(_) => "barrier",
+            SyncObj::Lock(_) => "lock",
+            SyncObj::Loop(_) => "loop",
+            SyncObj::Atomic(_) => "atomic",
+            SyncObj::Single(_) => "single",
+            SyncObj::TaskPool(_) => "task-pool",
+        }
+    }
+
+    /// Raise an [`SimError::ObjectTypeMismatch`] for `op` dispatched on
+    /// `obj` (which is not the `expected` kind). The first error wins.
+    fn type_mismatch(&mut self, op: &'static str, obj: ObjId, expected: &'static str) {
+        if self.fatal.is_none() {
+            self.fatal = Some(SimError::ObjectTypeMismatch {
+                op,
+                obj,
+                expected,
+                found: Self::obj_kind(&self.objs[obj.0 as usize]),
+            });
+        }
+    }
+
     /// Drive `tid` (which must be the running task of its CPU, with no
     /// timed micro-op in flight) until it starts a timed micro-op, blocks,
     /// or finishes.
     fn advance(&mut self, tid: TaskId) {
         let ti = tid.0 as usize;
         loop {
+            if self.fatal.is_some() {
+                // A helper raised an unrecoverable error mid-advance; stop
+                // interpreting so `run` can surface it after this event.
+                return;
+            }
             debug_assert!(self.tasks[ti].current.is_none());
             debug_assert_eq!(self.tasks[ti].state, TaskState::Runnable);
             let Some(micro) = self.tasks[ti].micro.pop_front() else {
                 if !self.expand_next_op(tid) {
-                    self.finish_task(tid);
+                    if self.fatal.is_none() {
+                        self.finish_task(tid);
+                    }
                     return;
                 }
                 continue;
@@ -648,7 +727,8 @@ impl Simulator {
                 MicroOp::LockAcquire(obj) => {
                     let cpu = self.tasks[ti].cpu;
                     let SyncObj::Lock(l) = &mut self.objs[obj.0 as usize] else {
-                        panic!("LockAcquire on non-lock object");
+                        self.type_mismatch("LockAcquire", obj, "lock");
+                        return;
                     };
                     if l.acquire(tid) {
                         let cost = self.params.sync.lock_ns * l.span_factor;
@@ -661,7 +741,8 @@ impl Simulator {
                 }
                 MicroOp::LockRelease(obj) => {
                     let SyncObj::Lock(l) = &mut self.objs[obj.0 as usize] else {
-                        panic!("LockRelease on non-lock object");
+                        self.type_mismatch("LockRelease", obj, "lock");
+                        return;
                     };
                     let span = l.span_factor;
                     if let Some(next) = l.release(tid) {
@@ -671,7 +752,8 @@ impl Simulator {
                 }
                 MicroOp::AtomicStart(obj) => {
                     let SyncObj::Atomic(a) = &mut self.objs[obj.0 as usize] else {
-                        panic!("AtomicStart on non-atomic object");
+                        self.type_mismatch("AtomicStart", obj, "atomic");
+                        return;
                     };
                     let cost = self.params.sync.atomic_ns
                         + self.params.sync.atomic_contention_ns
@@ -687,7 +769,8 @@ impl Simulator {
                 }
                 MicroOp::WaitTicket { obj, iter } => {
                     let SyncObj::Loop(l) = &mut self.objs[obj.0 as usize] else {
-                        panic!("WaitTicket on non-loop object");
+                        self.type_mismatch("WaitTicket", obj, "loop");
+                        return;
                     };
                     if !l.ticket_ready(iter) {
                         l.ordered_waiters.push((iter, tid));
@@ -698,7 +781,8 @@ impl Simulator {
                 }
                 MicroOp::TicketDone { obj } => {
                     let SyncObj::Loop(l) = &mut self.objs[obj.0 as usize] else {
-                        panic!("TicketDone on non-loop object");
+                        self.type_mismatch("TicketDone", obj, "loop");
+                        return;
                     };
                     let woken = l.ticket_advance();
                     if let Some(w) = woken {
@@ -708,7 +792,8 @@ impl Simulator {
                 }
                 MicroOp::TaskSpawnOne { obj, body_cycles } => {
                     let SyncObj::TaskPool(p) = &mut self.objs[obj.0 as usize] else {
-                        panic!("TaskSpawnOne on non-pool object");
+                        self.type_mismatch("TaskSpawnOne", obj, "task-pool");
+                        return;
                     };
                     // The task queue is a central, lock-protected
                     // structure (libgomp's team task lock): with k
@@ -725,7 +810,8 @@ impl Simulator {
                 }
                 MicroOp::TaskExecOrWait { obj } => {
                     let SyncObj::TaskPool(p) = &mut self.objs[obj.0 as usize] else {
-                        panic!("TaskExecOrWait on non-pool object");
+                        self.type_mismatch("TaskExecOrWait", obj, "task-pool");
+                        return;
                     };
                     match p.steal() {
                         Some(cycles) => {
@@ -759,7 +845,8 @@ impl Simulator {
                 }
                 MicroOp::TaskDone { obj } => {
                     let SyncObj::TaskPool(p) = &mut self.objs[obj.0 as usize] else {
-                        panic!("TaskDone on non-pool object");
+                        self.type_mismatch("TaskDone", obj, "task-pool");
+                        return;
                     };
                     let woken = p.complete();
                     let cost = self.params.sync.lock_ns;
@@ -769,7 +856,8 @@ impl Simulator {
                 }
                 MicroOp::SingleTry { obj, body_cycles } => {
                     let SyncObj::Single(s) = &mut self.objs[obj.0 as usize] else {
-                        panic!("SingleTry on non-single object");
+                        self.type_mismatch("SingleTry", obj, "single");
+                        return;
                     };
                     if s.enter() {
                         if body_cycles > 0.0 {
@@ -844,7 +932,10 @@ impl Simulator {
                 Op::Barrier { obj } => {
                     let (n, span) = match &self.objs[obj.0 as usize] {
                         SyncObj::Barrier(b) => (b.n, b.span_factor),
-                        _ => panic!("Barrier op on non-barrier object"),
+                        _ => {
+                            self.type_mismatch("Barrier", obj, "barrier");
+                            return false;
+                        }
                     };
                     let arrive = self.params.sync.barrier_arrive_ns
                         + self.params.sync.barrier_arrive_per_thread_ns
@@ -899,7 +990,8 @@ impl Simulator {
         let rank = self.tasks[ti].rank;
         let (mut lgen, mut lpos) = (self.tasks[ti].loop_gen, self.tasks[ti].loop_pos);
         let SyncObj::Loop(l) = &mut self.objs[obj.0 as usize] else {
-            panic!("GrabChunk on non-loop object");
+            self.type_mismatch("GrabChunk", obj, "loop");
+            return;
         };
         let grab = l.grab(rank, &mut lgen, &mut lpos);
         self.tasks[ti].loop_gen = lgen;
@@ -965,7 +1057,8 @@ impl Simulator {
     fn barrier_arrive(&mut self, tid: TaskId, obj: ObjId) -> bool {
         let cpu = self.tasks[tid.0 as usize].cpu;
         let SyncObj::Barrier(b) = &mut self.objs[obj.0 as usize] else {
-            panic!("BarrierArrive on non-barrier object");
+            self.type_mismatch("BarrierArrive", obj, "barrier");
+            return true; // treat as blocked: advance() stops, run() errors
         };
         if b.arrive(cpu) {
             let span = b.span_factor;
@@ -1001,6 +1094,14 @@ impl Simulator {
     fn wake(&mut self, tid: TaskId, cost_ns: f64) {
         let ti = tid.0 as usize;
         debug_assert!(matches!(self.tasks[ti].state, TaskState::Waiting(_)));
+        if self.lost_wakeups_armed > 0 {
+            // Lost-wakeup fault: the release never reaches this waiter.
+            // The waker already removed it from the object's waiter list,
+            // so it spins forever — the watchdog reports the deadlock.
+            self.lost_wakeups_armed -= 1;
+            self.counters.lost_wakeups += 1;
+            return;
+        }
         self.tasks[ti].state = TaskState::Runnable;
         self.tasks[ti].pending_overhead_ns += cost_ns;
         let cpu = self.tasks[ti].cpu;
@@ -1009,7 +1110,12 @@ impl Simulator {
             && self.rng_place.chance(self.params.sched.wake_migrate_prob)
         {
             let target = if self.rng_place.chance(self.params.sched.wake_misplace_prob) {
-                self.rng_place.index(self.cpus.len())
+                let c = self.rng_place.index(self.cpus.len());
+                if self.cpus[c].offline {
+                    Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+                } else {
+                    c
+                }
             } else {
                 Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
             };
@@ -1037,7 +1143,8 @@ impl Simulator {
     /// Completion of a contended atomic: release its slot.
     fn atomic_done(&mut self, obj: ObjId) {
         let SyncObj::Atomic(a) = &mut self.objs[obj.0 as usize] else {
-            panic!("atomic_done on non-atomic object");
+            self.type_mismatch("AtomicDone", obj, "atomic");
+            return;
         };
         debug_assert!(a.active > 0);
         a.active -= 1;
@@ -1065,12 +1172,17 @@ impl Simulator {
     // Placement, noise, load balancing
     // ------------------------------------------------------------------
 
-    /// Pick the least-loaded CPU: idle CPUs on fully idle cores first,
-    /// then idle CPUs, then minimal queue length; ties broken randomly.
+    /// Pick the least-loaded online CPU: idle CPUs on fully idle cores
+    /// first, then idle CPUs, then minimal queue length; ties broken
+    /// randomly. Offline CPUs are never chosen (the hotplug fault keeps
+    /// at least one CPU online).
     fn least_loaded_cpu(rng: &mut Rng, cpus: &[Cpu], machine: &MachineSpec) -> usize {
         let mut best_key = (u8::MAX, usize::MAX);
         let mut best: Vec<usize> = Vec::new();
         for (i, c) in cpus.iter().enumerate() {
+            if c.offline {
+                continue;
+            }
             let load = c.load();
             let core_idle = machine
                 .hw_threads_of_core(machine.core_of(HwThreadId(i)))
@@ -1100,24 +1212,35 @@ impl Simulator {
         let pin = self.tasks[tid.0 as usize].pin.clone();
         match pin {
             Some(place) => {
-                // Least loaded within the place.
-                let mut best = place.first().0;
+                // Least loaded online CPU within the place; if the whole
+                // place is offline, fall back to any online CPU.
+                let mut best = None;
                 let mut best_load = usize::MAX;
                 for &h in place.hw_threads() {
+                    if self.cpus[h.0].offline {
+                        continue;
+                    }
                     let l = self.cpus[h.0].load();
                     if l < best_load {
                         best_load = l;
-                        best = h.0;
+                        best = Some(h.0);
                     }
                 }
-                best
+                best.unwrap_or_else(|| {
+                    Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+                })
             }
             None => {
                 if self
                     .rng_place
                     .chance(self.params.sched.wake_misplace_prob)
                 {
-                    self.rng_place.index(self.cpus.len())
+                    let c = self.rng_place.index(self.cpus.len());
+                    if self.cpus[c].offline {
+                        Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+                    } else {
+                        c
+                    }
                 } else {
                     Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
                 }
@@ -1264,6 +1387,13 @@ impl Simulator {
             Some(p) => p.hw_threads().iter().map(|h| h.0).collect(),
             None => (0..self.cpus.len()).collect(),
         };
+        let allowed: Vec<usize> = allowed
+            .into_iter()
+            .filter(|&c| !self.cpus[c].offline)
+            .collect();
+        if allowed.is_empty() {
+            return None;
+        }
         if stale {
             // Stale load information: any allowed CPU, possibly busy.
             return Some(allowed[self.rng_balance.index(allowed.len())]);
@@ -1336,6 +1466,200 @@ impl Simulator {
         }
         if let Some(cfg) = self.logger.clone() {
             self.queue.push(cfg.period, EventKind::FreqSample);
+        }
+        // Schedule fault injections (and the ends of timed windows).
+        for (i, ev) in self.fault_plan.clone().into_iter().enumerate() {
+            self.queue.push(ev.at, EventKind::FaultStart { idx: i as u32 });
+            match ev.fault {
+                Fault::CpuOffline {
+                    duration: Some(d), ..
+                }
+                | Fault::FreqCap {
+                    duration: Some(d), ..
+                } => {
+                    self.queue
+                        .push(ev.at.saturating_add(d), EventKind::FaultEnd { idx: i as u32 });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn handle_fault_start(&mut self, idx: usize) {
+        self.counters.faults_injected += 1;
+        match self.fault_plan[idx].fault {
+            Fault::NoiseStorm { .. } => self.handle_fault_storm_tick(idx),
+            Fault::CpuOffline { cpu, .. } => self.fault_cpu_offline(cpu),
+            Fault::FreqCap { socket, cap_ghz, .. } => {
+                self.fault_freq_cap(socket, Some(cap_ghz));
+            }
+            Fault::TaskStall { rank, stall_ns } => self.fault_task_stall(idx, rank, stall_ns),
+            Fault::LostWakeups { count } => {
+                self.lost_wakeups_armed += count;
+            }
+        }
+    }
+
+    fn handle_fault_end(&mut self, idx: usize) {
+        match self.fault_plan[idx].fault {
+            Fault::CpuOffline { cpu, .. } => {
+                self.cpus[cpu].offline = false;
+            }
+            Fault::FreqCap { socket, .. } => self.fault_freq_cap(socket, None),
+            _ => {}
+        }
+    }
+
+    /// One arrival of an active noise storm: a kernel task on a random
+    /// online CPU, then the next arrival — until the window closes.
+    fn handle_fault_storm_tick(&mut self, idx: usize) {
+        let FaultEvent { at, fault } = self.fault_plan[idx];
+        let Fault::NoiseStorm {
+            duration,
+            mean_interval,
+            median_task,
+            sigma,
+        } = fault
+        else {
+            return;
+        };
+        if self.now >= at.saturating_add(duration) {
+            return;
+        }
+        let online: Vec<usize> = (0..self.cpus.len())
+            .filter(|&c| !self.cpus[c].offline)
+            .collect();
+        let (cpu, dur_ns, dt_ns) = {
+            let rng = &mut self.fault_rngs[idx];
+            let cpu = online[rng.index(online.len())];
+            (
+                cpu,
+                rng.lognormal(median_task as f64, sigma),
+                rng.exp(mean_interval as f64),
+            )
+        };
+        self.counters.noise_events += 1;
+        self.spawn_kernel(cpu, dur_ns);
+        self.queue.push(
+            self.now.saturating_add(from_ns_f64(dt_ns)),
+            EventKind::FaultStormTick { idx: idx as u32 },
+        );
+    }
+
+    /// Take `cpu` down: evacuate its queues and its running task, then
+    /// refuse new work until the matching [`EventKind::FaultEnd`]. The
+    /// last online CPU is never taken down (the fault degrades, it does
+    /// not brick the machine).
+    fn fault_cpu_offline(&mut self, cpu: usize) {
+        if self.cpus[cpu].offline
+            || self.cpus.iter().filter(|c| !c.offline).count() <= 1
+        {
+            return;
+        }
+        self.cpus[cpu].offline = true;
+        // Evacuate queued work first so the eviction below cannot
+        // re-dispatch onto this CPU.
+        let uq: Vec<TaskId> = self.cpus[cpu].uq.drain(..).collect();
+        let kq: Vec<TaskId> = self.cpus[cpu].kq.drain(..).collect();
+        for tid in uq {
+            let target = self.offline_evac_target(tid);
+            self.migrate(tid, cpu, target);
+        }
+        for tid in kq {
+            let target = Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine);
+            self.enqueue(tid, target);
+        }
+        // Evict whatever is on the CPU right now (running or spinning).
+        if let Some(tid) = self.cpus[cpu].running {
+            self.touch(cpu);
+            self.set_running(cpu, None);
+            match self.tasks[tid.0 as usize].kind {
+                TaskKind::User => {
+                    let target = self.offline_evac_target(tid);
+                    self.migrate(tid, cpu, target);
+                }
+                TaskKind::Kernel => {
+                    let target =
+                        Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine);
+                    self.enqueue(tid, target);
+                }
+            }
+        }
+        self.sync_stream(cpu);
+    }
+
+    /// Evacuation target for a user task leaving an offlined CPU:
+    /// least-loaded online CPU of its place, else any online CPU.
+    fn offline_evac_target(&mut self, tid: TaskId) -> usize {
+        let pin = self.tasks[tid.0 as usize].pin.clone();
+        if let Some(p) = pin {
+            let mut best = None;
+            let mut best_load = usize::MAX;
+            for &h in p.hw_threads() {
+                if self.cpus[h.0].offline {
+                    continue;
+                }
+                let l = self.cpus[h.0].load();
+                if l < best_load {
+                    best_load = l;
+                    best = Some(h.0);
+                }
+            }
+            if let Some(b) = best {
+                return b;
+            }
+        }
+        Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+    }
+
+    /// Apply (or lift, with `cap: None`) a frequency cap on one socket or
+    /// all of them; retargets fire immediately (thermal throttling does
+    /// not wait for the governor).
+    fn fault_freq_cap(&mut self, socket: Option<usize>, cap: Option<f64>) {
+        let targets: Vec<usize> = match socket {
+            Some(s) if s < self.sockets.len() => vec![s],
+            Some(_) => Vec::new(),
+            None => (0..self.sockets.len()).collect(),
+        };
+        for s in targets {
+            self.sockets[s].cap_ghz = cap;
+            self.queue.push(self.now, EventKind::FreqReeval { socket: s });
+        }
+    }
+
+    /// Charge one unfinished user task a lump of opaque overhead.
+    fn fault_task_stall(&mut self, idx: usize, rank: Option<usize>, stall_ns: f64) {
+        let unfinished: Vec<TaskId> = self
+            .user_tasks
+            .iter()
+            .copied()
+            .filter(|&t| self.tasks[t.0 as usize].state != TaskState::Done)
+            .collect();
+        if unfinished.is_empty() {
+            return;
+        }
+        let victim = match rank {
+            Some(r) => match unfinished
+                .iter()
+                .find(|&&t| self.tasks[t.0 as usize].rank == r)
+            {
+                Some(&t) => t,
+                None => return,
+            },
+            None => unfinished[self.fault_rngs[idx].index(unfinished.len())],
+        };
+        let cpu = self.tasks[victim.0 as usize].cpu;
+        let running_here = self.cpus[cpu].running == Some(victim);
+        if running_here {
+            self.touch(cpu);
+        }
+        self.tasks[victim.0 as usize].pending_overhead_ns += stall_ns;
+        if running_here {
+            self.schedule_boundary(cpu);
         }
     }
 
@@ -1434,6 +1758,12 @@ impl Simulator {
             };
             (cpu, dur)
         };
+        // A hotplugged-off CPU takes no interrupts/kernel work: redirect.
+        let cpu = if self.cpus[cpu].offline {
+            Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+        } else {
+            cpu
+        };
         self.spawn_kernel(cpu, dur_ns);
         self.arm_noise(s);
     }
@@ -1504,6 +1834,10 @@ impl Simulator {
         if self.sockets[socket].pulse_active {
             target *= 1.0 - self.params.freq.pulse_depth;
             target = target.max(clock.base_ghz * 0.9);
+        }
+        if let Some(cap) = self.sockets[socket].cap_ghz {
+            // Thermal-capping fault: hard ceiling, below any turbo bin.
+            target = target.min(cap);
         }
         if (target - self.sockets[socket].applied_ghz).abs() > 1e-9 {
             self.counters.freq_transitions += 1;
@@ -1594,7 +1928,7 @@ impl Simulator {
             core_ghz,
         });
         if let Some(cpu) = cfg.cpu {
-            if cfg.cost > 0 {
+            if cfg.cost > 0 && !self.cpus[cpu].offline {
                 self.spawn_kernel(cpu, cfg.cost as f64);
             }
         }
@@ -1602,22 +1936,44 @@ impl Simulator {
     }
 
     /// Run the simulation until all user tasks finish or `limit` virtual
-    /// time is reached. Returns the report.
-    pub fn run(mut self, limit: Time) -> SimReport {
+    /// time is reached.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Deadlock`] — the event queue drained with user tasks
+    ///   unfinished, or the limit tripped while every unfinished task was
+    ///   spin-waiting (nothing left can release a spin-waiter); the error
+    ///   names each blocked task and the barrier/lock it waits on.
+    /// * [`SimError::TimeLimitExceeded`] — the limit tripped with tasks
+    ///   still making progress; carries the partial report.
+    /// * [`SimError::EventBudgetExceeded`] — see
+    ///   [`Simulator::set_event_budget`].
+    /// * [`SimError::ObjectTypeMismatch`] — a malformed program addressed
+    ///   a sync object of the wrong kind.
+    pub fn run(mut self, limit: Time) -> Result<SimReport, SimError> {
         self.start();
+        if let Some(err) = self.fatal.take() {
+            return Err(err);
+        }
         while self.users_remaining > 0 {
             let Some((t, ev)) = self.queue.pop() else {
-                panic!(
-                    "simulation deadlock at t={} with {} user task(s) unfinished",
-                    self.now, self.users_remaining
-                );
+                return Err(SimError::Deadlock {
+                    time: self.now,
+                    blocked: self.blocked_tasks(),
+                });
             };
             if t > limit {
-                break;
+                return Err(self.limit_error(limit));
             }
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.counters.events += 1;
+            if let Some(budget) = self.event_budget {
+                if self.counters.events > budget {
+                    let partial = Box::new(self.make_report());
+                    return Err(SimError::EventBudgetExceeded { budget, partial });
+                }
+            }
             match ev {
                 EventKind::CpuBoundary { cpu, token } => self.handle_boundary(cpu, token),
                 EventKind::NoiseArrival { src } => self.handle_noise_arrival(src as usize),
@@ -1632,21 +1988,101 @@ impl Simulator {
                 EventKind::FreqReeval { socket } => self.handle_freq_reeval(socket),
                 EventKind::FreqPulse { socket, token } => self.handle_freq_pulse(socket, token),
                 EventKind::FreqSample => self.handle_freq_sample(),
+                EventKind::FaultStart { idx } => self.handle_fault_start(idx as usize),
+                EventKind::FaultEnd { idx } => self.handle_fault_end(idx as usize),
+                EventKind::FaultStormTick { idx } => self.handle_fault_storm_tick(idx as usize),
+            }
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
             }
         }
-        let final_time = self.now;
-        let task_stats = self
-            .user_tasks
-            .iter()
-            .map(|&t| (t, self.tasks[t.0 as usize].stats))
-            .collect();
+        Ok(self.make_report())
+    }
+
+    /// Build the report for the current state (consuming markers/samples).
+    fn make_report(&mut self) -> SimReport {
         SimReport {
-            final_time,
+            final_time: self.now,
             unfinished: self.users_remaining,
             markers: std::mem::take(&mut self.markers),
             freq_samples: std::mem::take(&mut self.freq_samples),
             counters: self.counters,
-            task_stats,
+            task_stats: self
+                .user_tasks
+                .iter()
+                .map(|&t| (t, self.tasks[t.0 as usize].stats))
+                .collect(),
         }
+    }
+
+    /// Classify a tripped time limit: if every unfinished user task is
+    /// spin-waiting, nothing can ever release it (spin-waiters are only
+    /// woken by other user tasks) — that is a deadlock kept "alive" by
+    /// background events. Otherwise the run was genuinely still working.
+    fn limit_error(&mut self, limit: Time) -> SimError {
+        let all_waiting = self.user_tasks.iter().all(|&t| {
+            matches!(
+                self.tasks[t.0 as usize].state,
+                TaskState::Waiting(_) | TaskState::Done
+            )
+        });
+        if all_waiting {
+            SimError::Deadlock {
+                time: self.now,
+                blocked: self.blocked_tasks(),
+            }
+        } else {
+            SimError::TimeLimitExceeded {
+                limit,
+                partial: Box::new(self.make_report()),
+            }
+        }
+    }
+
+    /// Diagnostics for every unfinished user task: what is it blocked on?
+    fn blocked_tasks(&self) -> Vec<BlockedTask> {
+        self.user_tasks
+            .iter()
+            .filter_map(|&tid| {
+                let t = &self.tasks[tid.0 as usize];
+                let wait = match t.state {
+                    TaskState::Done => return None,
+                    TaskState::Runnable => BlockedOn::Starved,
+                    TaskState::Waiting(w) => match w {
+                        WaitKind::Barrier(obj) => match &self.objs[obj.0 as usize] {
+                            SyncObj::Barrier(b) => BlockedOn::Barrier {
+                                obj,
+                                arrived: b.arrived,
+                                team: b.n,
+                            },
+                            _ => BlockedOn::Starved,
+                        },
+                        WaitKind::Lock(obj) => match &self.objs[obj.0 as usize] {
+                            SyncObj::Lock(l) => BlockedOn::Lock {
+                                obj,
+                                holder: l.holder,
+                            },
+                            _ => BlockedOn::Starved,
+                        },
+                        WaitKind::Ticket { obj, iter } => match &self.objs[obj.0 as usize] {
+                            SyncObj::Loop(l) => BlockedOn::OrderedTicket {
+                                obj,
+                                iter,
+                                next: l.ordered_next,
+                            },
+                            _ => BlockedOn::Starved,
+                        },
+                        WaitKind::TaskPool(obj) => match &self.objs[obj.0 as usize] {
+                            SyncObj::TaskPool(p) => BlockedOn::TaskPool {
+                                obj,
+                                outstanding: p.outstanding,
+                            },
+                            _ => BlockedOn::Starved,
+                        },
+                    },
+                };
+                Some(BlockedTask { task: tid, wait })
+            })
+            .collect()
     }
 }

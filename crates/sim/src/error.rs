@@ -1,0 +1,228 @@
+//! Typed simulation errors: the watchdog's structured error taxonomy.
+//!
+//! `Simulator::run` returns `Result<SimReport, SimError>` instead of
+//! panicking on a deadlocked run or silently truncating at the virtual
+//! time limit. Every variant carries enough diagnostics to name the
+//! culprit: a deadlock lists each unfinished task and the barrier/lock
+//! it spins on; limit/budget overruns carry the partial report gathered
+//! so far so callers can still inspect degraded results.
+
+use crate::task::{ObjId, TaskId};
+use crate::time::Time;
+use crate::trace::SimReport;
+use std::fmt;
+
+/// What an unfinished task was waiting on when the run was declared dead.
+///
+/// A lightweight descriptor of the sync object's state at diagnosis time
+/// (the objects themselves are not clonable out of the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Spinning at a barrier that never fills.
+    Barrier {
+        /// Barrier object.
+        obj: ObjId,
+        /// Arrivals so far this round.
+        arrived: usize,
+        /// Participants required.
+        team: usize,
+    },
+    /// Spinning on a lock.
+    Lock {
+        /// Lock object.
+        obj: ObjId,
+        /// Current holder, if any.
+        holder: Option<TaskId>,
+    },
+    /// Spinning for an `ordered` ticket that never comes up.
+    OrderedTicket {
+        /// Loop object.
+        obj: ObjId,
+        /// Iteration the task waits to enter.
+        iter: u64,
+        /// Ticket currently allowed in.
+        next: u64,
+    },
+    /// Spinning at a task-wait for a pool that never drains.
+    TaskPool {
+        /// Pool object.
+        obj: ObjId,
+        /// Explicit tasks still outstanding.
+        outstanding: usize,
+    },
+    /// Runnable but never reached a CPU (queued behind the deadlock).
+    Starved,
+}
+
+impl fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockedOn::Barrier { obj, arrived, team } => {
+                write!(f, "barrier #{} ({arrived}/{team} arrived)", obj.0)
+            }
+            BlockedOn::Lock { obj, holder } => match holder {
+                Some(h) => write!(f, "lock #{} (held by task {})", obj.0, h.0),
+                None => write!(f, "lock #{} (unheld)", obj.0),
+            },
+            BlockedOn::OrderedTicket { obj, iter, next } => {
+                write!(f, "ordered ticket {iter} of loop #{} (next is {next})", obj.0)
+            }
+            BlockedOn::TaskPool { obj, outstanding } => {
+                write!(f, "task pool #{} ({outstanding} outstanding)", obj.0)
+            }
+            BlockedOn::Starved => write!(f, "run queue (never dispatched)"),
+        }
+    }
+}
+
+/// One unfinished task and what it was blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedTask {
+    /// The unfinished user task.
+    pub task: TaskId,
+    /// What it was waiting for.
+    pub wait: BlockedOn,
+}
+
+impl fmt::Display for BlockedTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} waiting on {}", self.task.0, self.wait)
+    }
+}
+
+/// A failed simulation run.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// No event can ever wake the remaining user tasks: either the event
+    /// queue drained with tasks unfinished, or every unfinished task is
+    /// spin-waiting with nothing left that could release it.
+    Deadlock {
+        /// Virtual time of diagnosis.
+        time: Time,
+        /// Every unfinished user task and its wait target.
+        blocked: Vec<BlockedTask>,
+    },
+    /// The virtual-time limit passed while tasks still made progress.
+    TimeLimitExceeded {
+        /// The limit that tripped.
+        limit: Time,
+        /// Everything gathered up to the limit.
+        partial: Box<SimReport>,
+    },
+    /// The optional event budget was exhausted (runaway-event backstop).
+    EventBudgetExceeded {
+        /// The budget that tripped.
+        budget: u64,
+        /// Everything gathered up to the budget.
+        partial: Box<SimReport>,
+    },
+    /// A micro-op was dispatched against a sync object of the wrong kind
+    /// — a malformed program (e.g. a lock acquire on a barrier id).
+    ObjectTypeMismatch {
+        /// The offending operation.
+        op: &'static str,
+        /// The object it addressed.
+        obj: ObjId,
+        /// The object kind the operation requires.
+        expected: &'static str,
+        /// The kind actually registered under that id.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { time, blocked } => {
+                write!(f, "simulation deadlock at t={time}ns: ")?;
+                if blocked.is_empty() {
+                    write!(f, "no blocked-task diagnostics available")
+                } else {
+                    let list: Vec<String> = blocked.iter().map(|b| b.to_string()).collect();
+                    write!(f, "{}", list.join("; "))
+                }
+            }
+            SimError::TimeLimitExceeded { limit, partial } => write!(
+                f,
+                "virtual-time limit {limit}ns exceeded with {} user task(s) unfinished",
+                partial.unfinished
+            ),
+            SimError::EventBudgetExceeded { budget, partial } => write!(
+                f,
+                "event budget {budget} exceeded with {} user task(s) unfinished",
+                partial.unfinished
+            ),
+            SimError::ObjectTypeMismatch {
+                op,
+                obj,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{op} on object #{} expects a {expected}, found a {found}",
+                obj.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_names_blocked_tasks() {
+        let e = SimError::Deadlock {
+            time: 500,
+            blocked: vec![
+                BlockedTask {
+                    task: TaskId(1),
+                    wait: BlockedOn::Barrier {
+                        obj: ObjId(0),
+                        arrived: 2,
+                        team: 3,
+                    },
+                },
+                BlockedTask {
+                    task: TaskId(2),
+                    wait: BlockedOn::Lock {
+                        obj: ObjId(4),
+                        holder: Some(TaskId(7)),
+                    },
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("task 1 waiting on barrier #0 (2/3 arrived)"), "{s}");
+        assert!(s.contains("task 2 waiting on lock #4 (held by task 7)"), "{s}");
+    }
+
+    #[test]
+    fn mismatch_display_names_op_and_kinds() {
+        let e = SimError::ObjectTypeMismatch {
+            op: "LockAcquire",
+            obj: ObjId(3),
+            expected: "lock",
+            found: "barrier",
+        };
+        assert_eq!(
+            e.to_string(),
+            "LockAcquire on object #3 expects a lock, found a barrier"
+        );
+    }
+
+    #[test]
+    fn limit_display_reports_unfinished() {
+        let partial = SimReport {
+            unfinished: 2,
+            ..Default::default()
+        };
+        let e = SimError::TimeLimitExceeded {
+            limit: 1_000,
+            partial: Box::new(partial),
+        };
+        assert!(e.to_string().contains("2 user task(s) unfinished"));
+    }
+}

@@ -49,6 +49,21 @@ pub enum EventKind {
     },
     /// The frequency logger samples all core frequencies.
     FreqSample,
+    /// A scheduled fault injection fires (index into the fault plan).
+    FaultStart {
+        /// Fault-plan index.
+        idx: u32,
+    },
+    /// A timed fault window ends (CPU back online, frequency cap lifted).
+    FaultEnd {
+        /// Fault-plan index.
+        idx: u32,
+    },
+    /// Next arrival of an active noise storm.
+    FaultStormTick {
+        /// Fault-plan index.
+        idx: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,186 @@
+//! Seeded, composable fault injectors.
+//!
+//! A [`FaultPlan`] is a list of timed fault events attached to a
+//! [`Simulator`](crate::engine::Simulator) before `run()`. Each fault is
+//! delivered through the ordinary event queue, and all randomness a fault
+//! needs (storm arrival times, victim selection) flows from a dedicated
+//! per-fault sub-stream of the simulation seed — so the same seed yields
+//! a bit-identical injection schedule, and adding a plan never perturbs
+//! the streams the rest of the model consumes.
+//!
+//! Injectors model the hostile conditions the paper's real clusters can
+//! exhibit but a clean simulation never shows by itself:
+//!
+//! * **noise storms** — a burst period of kernel-task arrivals far above
+//!   the background noise level (an antagonist job, a logging daemon gone
+//!   wild);
+//! * **CPU offline/hotplug** — a hardware thread is evacuated mid-run and
+//!   later returned (thermal shutdown, `cpu0` hotplug maintenance);
+//! * **thermal frequency capping** — a socket's DVFS is clamped below its
+//!   turbo bins for a window (power/thermal throttling);
+//! * **stalled tasks** — one thread loses a chunk of progress at once (a
+//!   major page fault, an SMI);
+//! * **lost wakeups** — a sync-object release fails to reach its waiter,
+//!   the classic runtime bug that turns into a silent hang. This one is
+//!   expected to *deadlock* the run; the watchdog must report it.
+
+use crate::time::Time;
+
+/// One fault kind with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// A burst of kernel-noise arrivals on random online CPUs for
+    /// `duration`, with exponential inter-arrivals of mean
+    /// `mean_interval` and lognormal task durations (median
+    /// `median_task`, shape `sigma`).
+    NoiseStorm {
+        /// Storm length (virtual time).
+        duration: Time,
+        /// Mean inter-arrival time (ns).
+        mean_interval: Time,
+        /// Median kernel-task duration (ns).
+        median_task: Time,
+        /// Lognormal shape parameter of task durations.
+        sigma: f64,
+    },
+    /// Take hardware thread `cpu` offline, evacuating its tasks; brought
+    /// back after `duration` (or never, when `None`). The last online
+    /// CPU is never taken down.
+    CpuOffline {
+        /// Hardware thread to offline.
+        cpu: usize,
+        /// Offline window; `None` keeps it down for the rest of the run.
+        duration: Option<Time>,
+    },
+    /// Clamp the applied frequency of one socket (or all sockets when
+    /// `None`) to at most `cap_ghz`, lifted after `duration`.
+    FreqCap {
+        /// Target socket, or all sockets.
+        socket: Option<usize>,
+        /// Frequency ceiling in GHz.
+        cap_ghz: f64,
+        /// Capping window; `None` caps for the rest of the run.
+        duration: Option<Time>,
+    },
+    /// Charge one user task `stall_ns` of opaque overhead at once —
+    /// by team rank, or a seeded random unfinished task when `None`.
+    TaskStall {
+        /// Victim team rank; `None` picks a seeded random victim.
+        rank: Option<usize>,
+        /// Stall size in max-frequency nanoseconds.
+        stall_ns: f64,
+    },
+    /// Silently drop the next `count` sync-object wakeups. The dropped
+    /// waiter spins forever: this fault *creates* a deadlock for the
+    /// watchdog to diagnose.
+    LostWakeups {
+        /// Number of wakeups to swallow.
+        count: u32,
+    },
+}
+
+/// A fault scheduled at a virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Injection time.
+    pub at: Time,
+    /// What to inject.
+    pub fault: Fault,
+}
+
+/// An ordered collection of fault injections for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults, in push order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects anything.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Schedule an arbitrary fault at `at` (builder style).
+    pub fn at(mut self, at: Time, fault: Fault) -> Self {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// Schedule a noise storm.
+    pub fn noise_storm(
+        self,
+        at: Time,
+        duration: Time,
+        mean_interval: Time,
+        median_task: Time,
+        sigma: f64,
+    ) -> Self {
+        self.at(
+            at,
+            Fault::NoiseStorm {
+                duration,
+                mean_interval,
+                median_task,
+                sigma,
+            },
+        )
+    }
+
+    /// Schedule a CPU offline window.
+    pub fn cpu_offline(self, at: Time, cpu: usize, duration: Option<Time>) -> Self {
+        self.at(at, Fault::CpuOffline { cpu, duration })
+    }
+
+    /// Schedule a frequency cap window.
+    pub fn freq_cap(
+        self,
+        at: Time,
+        socket: Option<usize>,
+        cap_ghz: f64,
+        duration: Option<Time>,
+    ) -> Self {
+        self.at(
+            at,
+            Fault::FreqCap {
+                socket,
+                cap_ghz,
+                duration,
+            },
+        )
+    }
+
+    /// Schedule a single-task stall.
+    pub fn task_stall(self, at: Time, rank: Option<usize>, stall_ns: f64) -> Self {
+        self.at(at, Fault::TaskStall { rank, stall_ns })
+    }
+
+    /// Schedule lost wakeups.
+    pub fn lost_wakeups(self, at: Time, count: u32) -> Self {
+        self.at(at, Fault::LostWakeups { count })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MS;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let plan = FaultPlan::new()
+            .noise_storm(MS, 2 * MS, 10_000, 5_000, 0.5)
+            .cpu_offline(3 * MS, 1, Some(MS))
+            .lost_wakeups(5 * MS, 1);
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.events[0].at, MS);
+        assert!(matches!(plan.events[2].fault, Fault::LostWakeups { count: 1 }));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+}

@@ -41,12 +41,14 @@
 //!         .build();
 //!     sim.spawn_user(rank, prog, None);
 //! }
-//! let report = sim.run(ompvar_sim::time::SEC);
+//! let report = sim.run(ompvar_sim::time::SEC).expect("run completes");
 //! assert_eq!(report.markers.len(), 4);
 //! ```
 
 pub mod engine;
+pub mod error;
 pub mod events;
+pub mod fault;
 pub mod params;
 pub mod rng;
 pub mod sync;
@@ -57,6 +59,8 @@ pub mod trace;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::engine::Simulator;
+    pub use crate::error::{BlockedOn, BlockedTask, SimError};
+    pub use crate::fault::{Fault, FaultEvent, FaultPlan};
     pub use crate::params::{
         FreqParams, MemParams, NoiseParams, NoisePlacement, NoiseSource, SchedParams, SimParams,
         SmtParams, SyncCosts,

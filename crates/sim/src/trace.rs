@@ -42,6 +42,10 @@ pub struct Counters {
     pub freq_transitions: u64,
     /// Events processed by the engine.
     pub events: u64,
+    /// Fault injections delivered from the fault plan.
+    pub faults_injected: u64,
+    /// Sync-object wakeups swallowed by a lost-wakeup fault.
+    pub lost_wakeups: u64,
 }
 
 /// Everything the simulator reports after a run.

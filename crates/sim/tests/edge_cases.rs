@@ -30,7 +30,7 @@ fn noise_storm_slows_but_completes() {
         .compute(30.0e6, CorunClass::Latency) // 10 ms of work
         .build();
     sim.spawn_user(0, prog, pin(0));
-    let rep = sim.run(60 * SEC);
+    let rep = sim.run(60 * SEC).expect("run completes");
     assert!(rep.final_time > 15 * MS, "storm should at least double time");
     assert!(rep.final_time < 60 * SEC, "must finish under the limit");
     assert!(rep.counters.preemptions > 20);
@@ -52,14 +52,15 @@ fn single_cpu_oversubscription_with_barrier() {
             .build();
         sim.spawn_user(rank, prog, pin(0));
     }
-    let rep = sim.run(60 * SEC);
+    let rep = sim.run(60 * SEC).expect("run completes");
     // 6 threads × 3 reps × 1 ms serialized ≈ 18 ms plus rotation slack.
     assert!(rep.final_time >= 18 * MS);
     assert!(rep.final_time < 500 * MS);
 }
 
-/// Hitting the virtual-time limit stops the run without panicking, even
-/// with unfinished tasks.
+/// Hitting the virtual-time limit stops the run with a typed error
+/// carrying a usable partial report, instead of panicking or silently
+/// truncating.
 #[test]
 fn time_limit_stops_unfinished_run() {
     let m = MachineSpec::generic(1, 2, 1);
@@ -68,13 +69,19 @@ fn time_limit_stops_unfinished_run() {
         .compute(3.0e12, CorunClass::Latency) // ~17 minutes of work
         .build();
     sim.spawn_user(0, prog, pin(0));
-    let rep = sim.run(10 * MS);
-    assert!(rep.final_time <= 10 * MS + 1);
+    match sim.run(10 * MS) {
+        Err(SimError::TimeLimitExceeded { limit, partial }) => {
+            assert_eq!(limit, 10 * MS);
+            assert_eq!(partial.unfinished, 1);
+            assert!(partial.final_time <= 10 * MS + 1);
+        }
+        other => panic!("expected TimeLimitExceeded, got {other:?}"),
+    }
 }
 
-/// A barrier sized for more threads than exist deadlocks; the run stops
-/// at the virtual-time limit and reports the unfinished tasks instead of
-/// hanging the host.
+/// A barrier sized for more threads than exist deadlocks; the watchdog
+/// reports the blocked tasks and the barrier they wait on instead of
+/// hanging the host or panicking.
 #[test]
 fn barrier_deadlock_is_detected() {
     let m = MachineSpec::generic(1, 2, 1);
@@ -85,8 +92,21 @@ fn barrier_deadlock_is_detected() {
         let prog = Program::builder().barrier(b).build();
         sim.spawn_user(rank, prog, pin(rank));
     }
-    let rep = sim.run(SEC);
-    assert_eq!(rep.unfinished, 2);
+    match sim.run(SEC) {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            assert_eq!(blocked.len(), 2, "both spinners diagnosed: {blocked:?}");
+            for bt in &blocked {
+                match bt.wait {
+                    BlockedOn::Barrier { obj, arrived, team } => {
+                        assert_eq!(obj, b);
+                        assert_eq!((arrived, team), (2, 3));
+                    }
+                    other => panic!("expected a barrier wait, got {other:?}"),
+                }
+            }
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
 }
 
 /// Zero-duration ops are skipped without stalling the interpreter.
@@ -102,7 +122,7 @@ fn zero_duration_ops_are_fine() {
         .mark(1)
         .build();
     let t = sim.spawn_user(0, prog, pin(0));
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     let d = rep.intervals(t, 0, 1)[0];
     assert!((1_000..2_000).contains(&d), "1 µs of real work, got {d} ns");
 }
@@ -122,7 +142,7 @@ fn nested_repeats_multiply() {
         .end_repeat()
         .build();
     let t = sim.spawn_user(0, prog, pin(0));
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     assert_eq!(rep.marker_times(t, 9).len(), 3 * 4 * 5);
 }
 
@@ -147,7 +167,7 @@ fn ordered_loop_with_more_threads_than_iters() {
         let prog = Program::builder().for_loop(lp).barrier(b).build();
         sim.spawn_user(rank, prog, pin(rank));
     }
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     assert!(rep.final_time > 0);
 }
 
@@ -170,7 +190,7 @@ fn heavy_churn_unbound_still_finishes() {
             .build();
         sim.spawn_user(rank, prog, None);
     }
-    let rep = sim.run(60 * SEC);
+    let rep = sim.run(60 * SEC).expect("run completes");
     assert!(rep.final_time < 60 * SEC);
     assert!(rep.counters.migrations > 0);
 }
@@ -186,7 +206,7 @@ fn logger_on_minimal_machine() {
         .compute(30.0e6, CorunClass::Latency)
         .build();
     sim.spawn_user(0, prog, pin(0));
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     assert!(rep.freq_samples.len() >= 9);
     assert!(rep
         .freq_samples
@@ -215,7 +235,7 @@ fn noise_tasks_are_recycled() {
         .compute(300.0e6, CorunClass::Latency) // 100 ms
         .build();
     sim.spawn_user(0, prog, pin(0));
-    let rep = sim.run(10 * SEC);
+    let rep = sim.run(10 * SEC).expect("run completes");
     // Thousands of arrivals happened; the engine must have processed them
     // all (events counter) while recycling task slots.
     assert!(rep.counters.noise_events > 2_000);

@@ -20,7 +20,7 @@ fn compute_duration_matches_frequency() {
         .mark(1)
         .build();
     let t = sim.spawn_user(0, prog, pin(0));
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     let d = rep.intervals(t, 0, 1)[0];
     assert!(
         (d as f64 - 1e6).abs() < 1e4,
@@ -43,7 +43,7 @@ fn parallel_vs_oversubscribed() {
                 .build();
             sim.spawn_user(rank, prog, pin(cpu));
         }
-        sim.run(SEC).final_time
+        sim.run(SEC).expect("run completes").final_time
     };
     let apart = run([0, 1]);
     let stacked = run([0, 0]);
@@ -73,7 +73,7 @@ fn quantum_rotation_interleaves() {
             .build();
         ids.push(sim.spawn_user(rank, prog, pin(0)));
     }
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     let e0 = rep.marker_times(ids[0], 9)[0];
     let e1 = rep.marker_times(ids[1], 9)[0];
     // Both finish near the end (fair sharing), within ~1 quantum of each
@@ -93,7 +93,7 @@ fn smt_corun_slowdown_by_class() {
             let prog = Program::builder().compute(30.0e6, class).build();
             sim.spawn_user(rank, prog, pin(cpu));
         }
-        sim.run(SEC).final_time as f64
+        sim.run(SEC).expect("run completes").final_time as f64
     };
     let tp_apart = run(CorunClass::Throughput, [0, 1]);
     let tp_sibling = run(CorunClass::Throughput, [0, 4]);
@@ -127,7 +127,7 @@ fn barrier_waits_for_slowest() {
             .build();
         ids.push(sim.spawn_user(rank, prog, pin(rank)));
     }
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     for id in ids {
         let t = rep.marker_times(id, 7)[0];
         assert!(
@@ -150,7 +150,7 @@ fn lock_serializes_critical_sections() {
             .build();
         sim.spawn_user(rank, prog, pin(rank));
     }
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     let wall = rep.final_time as f64;
     assert!(
         wall > 3.9e6 && wall < 4.5e6,
@@ -186,7 +186,7 @@ fn dynamic_schedule_rebalances() {
             let prog = pb.for_loop(lp).barrier(b).build();
             sim.spawn_user(rank, prog, pin(rank));
         }
-        sim.run(SEC).final_time as f64
+        sim.run(SEC).expect("run completes").final_time as f64
     };
     let stat = run(LoopSchedule::Static { chunk: 1 });
     let dyn_ = run(LoopSchedule::Dynamic { chunk: 1 });
@@ -225,7 +225,7 @@ fn guided_schedule_completes() {
         }
         ids[0]
     };
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     let d = rep.intervals(master, 0, 1)[0] as f64;
     // 1000 × 10us over 4 threads ≈ 2.5 ms (plus small overheads).
     assert!(d > 2.4e6 && d < 3.2e6, "guided wall {} ms", d / 1e6);
@@ -251,7 +251,7 @@ fn ordered_loop_serializes() {
         let prog = Program::builder().for_loop(lp).barrier(b).build();
         sim.spawn_user(rank, prog, pin(rank));
     }
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     // 16 serialized 100us sections dominate: ≥ 1.6 ms.
     assert!(
         rep.final_time >= 1_600_000,
@@ -276,7 +276,7 @@ fn single_executes_once_per_round() {
             .build();
         sim.spawn_user(rank, prog, pin(rank));
     }
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     // 3 rounds × 1ms single body ≈ 3 ms (not 12 ms: bodies don't stack).
     let wall = rep.final_time as f64;
     assert!(wall > 2.9e6 && wall < 4.0e6, "single wall {} ms", wall / 1e6);
@@ -293,7 +293,7 @@ fn atomic_contention_prices() {
             let prog = Program::builder().repeat(100).atomic(a).end_repeat().build();
             sim.spawn_user(rank, prog, pin(rank));
         }
-        sim.run(SEC).final_time as f64
+        sim.run(SEC).expect("run completes").final_time as f64
     };
     assert!(run(8) > run(1) * 1.5);
 }
@@ -310,7 +310,7 @@ fn memory_bandwidth_contention() {
             let prog = Program::builder().mem_stream(bytes).build();
             sim.spawn_user(rank, prog, pin(rank));
         }
-        sim.run(10 * SEC).final_time as f64
+        sim.run(10 * SEC).expect("run completes").final_time as f64
     };
     let t1 = run(1);
     let t8 = run(8);
@@ -341,7 +341,7 @@ fn active_cores_lower_frequency() {
                 .build();
             ids.push(sim.spawn_user(rank, prog, pin(rank)));
         }
-        let rep = sim.run(SEC);
+        let rep = sim.run(SEC).expect("run completes");
         rep.intervals(ids[0], 0, 1)[0] as f64
     };
     let t1 = run(1);
@@ -381,7 +381,7 @@ fn noise_extends_execution() {
             .compute(150.0e6, CorunClass::Latency) // 50 ms
             .build();
         sim.spawn_user(0, prog, pin(0));
-        let rep = sim.run(10 * SEC);
+        let rep = sim.run(10 * SEC).expect("run completes");
         (rep.final_time as f64, rep.counters.preemptions)
     };
     let (quiet, p0) = run(false);
@@ -428,7 +428,7 @@ fn global_daemons_absorbed_by_idle_cpus() {
                 .build();
             sim.spawn_user(rank, prog, pin(rank));
         }
-        let rep = sim.run(10 * SEC);
+        let rep = sim.run(10 * SEC).expect("run completes");
         (rep.final_time as f64, rep.counters.preemptions)
     };
     let (t_spare, preempt_spare) = run(true);
@@ -462,7 +462,7 @@ fn seeded_determinism() {
                 .build();
             sim.spawn_user(rank, prog, pin(rank));
         }
-        let rep = sim.run(10 * SEC);
+        let rep = sim.run(10 * SEC).expect("run completes");
         (rep.final_time, rep.counters.noise_events)
     };
     assert_eq!(run(42), run(42));
@@ -482,7 +482,7 @@ fn freq_logger_samples() {
         .compute(37.0e6, CorunClass::Latency)
         .build();
     sim.spawn_user(0, prog, pin(0));
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     assert!(rep.freq_samples.len() >= 5, "{} samples", rep.freq_samples.len());
     let s = &rep.freq_samples[3];
     assert_eq!(s.core_ghz.len(), 32);
@@ -504,7 +504,7 @@ fn load_balancer_migrates_unbound_only() {
             let place = if pinned { pin(rank) } else { None };
             sim.spawn_user(rank, prog, place);
         }
-        sim.run(10 * SEC).counters.migrations
+        sim.run(10 * SEC).expect("run completes").counters.migrations
     };
     assert_eq!(run(true), 0);
     assert!(run(false) > 0, "unbound run should migrate");
@@ -526,7 +526,7 @@ fn remote_memory_slower() {
     // Rank 0: local streamer on cpu 0.
     let p0 = Program::builder().mark(0).mem_stream(100.0e6).mark(1).build();
     let t0 = sim.spawn_user(0, p0, pin(0));
-    let rep = sim.run(10 * SEC);
+    let rep = sim.run(10 * SEC).expect("run completes");
     let local = rep.intervals(t0, 0, 1)[0] as f64;
 
     let m = MachineSpec::generic(2, 4, 1);
@@ -539,7 +539,7 @@ fn remote_memory_slower() {
     // per-core cap (13 GB/s → 100 MB in ~7.7 ms).
     let p1 = Program::builder().mark(0).mem_stream(100.0e6).mark(1).build();
     let t1 = sim.spawn_user(0, p1, pin(0));
-    let rep = sim.run(10 * SEC);
+    let rep = sim.run(10 * SEC).expect("run completes");
     let again = rep.intervals(t1, 0, 1)[0] as f64;
     assert!((local / again - 1.0).abs() < 1e-9);
     assert!(
@@ -564,7 +564,7 @@ fn task_pool_distributes_work() {
         let prog = pb.barrier(b).task_wait(pool).barrier(b).build();
         sim.spawn_user(rank, prog, pin(rank));
     }
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     // 64 ms of task work over 8 threads ≈ 8 ms, not 64 ms.
     let wall = rep.final_time as f64;
     assert!(wall > 7.9e6, "wall {} ms", wall / 1e6);
@@ -589,7 +589,7 @@ fn task_wait_blocks_for_outstanding() {
         let prog = pb.barrier(b).task_wait(pool).mark(5).build();
         ids.push(sim.spawn_user(rank, prog, pin(rank)));
     }
-    let rep = sim.run(SEC);
+    let rep = sim.run(SEC).expect("run completes");
     // Rank 1 steals nothing if rank 0 grabs its own task first — but
     // whoever waits must not pass the task-wait before the 10 ms task is
     // done.

@@ -1,0 +1,189 @@
+//! Fault-injection integration tests: every injector, the watchdog's
+//! typed diagnostics, and per-seed determinism of injected runs.
+
+use ompvar_sim::prelude::*;
+use ompvar_sim::time::{MS, SEC, US};
+use ompvar_topology::{HwThreadId, MachineSpec, Place};
+
+fn pin(cpu: usize) -> Option<Place> {
+    Some(Place::single(HwThreadId(cpu)))
+}
+
+/// A sterile two-thread barrier loop; the common victim workload.
+fn spawn_pair(sim: &mut Simulator, reps: u32, cycles: f64) -> ObjId {
+    let b = sim.add_barrier(2, 1.0);
+    for rank in 0..2 {
+        let prog = Program::builder()
+            .repeat(reps)
+            .compute(cycles, CorunClass::Latency)
+            .barrier(b)
+            .end_repeat()
+            .build();
+        sim.spawn_user(rank, prog, pin(rank));
+    }
+    b
+}
+
+fn sterile_sim(seed: u64) -> Simulator {
+    Simulator::new(MachineSpec::generic(1, 4, 1), SimParams::sterile(), seed)
+}
+
+/// Baseline runtime of the victim workload with no faults, for
+/// slowdown comparisons.
+fn baseline(seed: u64) -> Time {
+    let mut sim = sterile_sim(seed);
+    spawn_pair(&mut sim, 20, 3.0e6);
+    sim.run(SEC).expect("sterile baseline completes").final_time
+}
+
+/// A noise storm injected mid-run delays completion and is visible in
+/// the counters; the run still finishes.
+#[test]
+fn noise_storm_injector_slows_run() {
+    let clean = baseline(7);
+    let mut sim = sterile_sim(7);
+    spawn_pair(&mut sim, 20, 3.0e6);
+    sim.inject_faults(
+        // Storm the whole machine for 10 ms with 20 µs arrivals.
+        &FaultPlan::new().noise_storm(MS, 10 * MS, 20 * US, 50 * US, 0.3),
+    );
+    let rep = sim.run(SEC).expect("stormed run completes");
+    assert!(
+        rep.final_time > clean,
+        "storm must cost time: {clean} !< {}",
+        rep.final_time
+    );
+    assert_eq!(rep.counters.faults_injected, 1);
+    assert!(rep.counters.noise_events > 50, "{:?}", rep.counters);
+}
+
+/// Offlining a CPU evacuates its pinned task; the victim pair serializes
+/// onto the surviving CPU and still completes, slower.
+#[test]
+fn cpu_offline_injector_evacuates_and_completes() {
+    let clean = baseline(8);
+    let mut sim = sterile_sim(8);
+    spawn_pair(&mut sim, 20, 3.0e6);
+    sim.inject_faults(&FaultPlan::new().cpu_offline(MS, 1, None));
+    let rep = sim.run(SEC).expect("run completes after hotplug");
+    assert!(rep.final_time > clean, "serialized pair must be slower");
+    assert!(rep.counters.migrations > 0, "evacuation is a migration");
+}
+
+/// A temporary frequency cap stretches the capped window but the cost
+/// disappears when the cap lifts: a short cap costs less than a long one.
+#[test]
+fn freq_cap_injector_windows_are_proportional() {
+    let run_with_cap = |dur: Option<Time>| {
+        let mut sim = sterile_sim(9);
+        spawn_pair(&mut sim, 20, 3.0e6);
+        sim.inject_faults(&FaultPlan::new().freq_cap(MS, None, 0.8, dur));
+        sim.run(SEC).expect("capped run completes").final_time
+    };
+    let clean = baseline(9);
+    let short = run_with_cap(Some(5 * MS));
+    let long = run_with_cap(None);
+    assert!(short > clean, "cap must cost time: {clean} !< {short}");
+    assert!(long > short, "longer cap must cost more: {short} !< {long}");
+}
+
+/// A task stall charges one thread a lump of opaque time; its barrier
+/// partner absorbs the delay, so the whole run stretches by about the
+/// stall.
+#[test]
+fn task_stall_injector_charges_victim() {
+    let clean = baseline(10);
+    let mut sim = sterile_sim(10);
+    spawn_pair(&mut sim, 20, 3.0e6);
+    let stall = 5.0e6; // 5 ms at max frequency
+    sim.inject_faults(&FaultPlan::new().task_stall(MS, Some(0), stall));
+    let rep = sim.run(SEC).expect("stalled run completes");
+    let delta = rep.final_time.saturating_sub(clean);
+    assert!(
+        delta >= 4 * MS,
+        "a 5 ms stall must stretch the run: delta {delta}ns"
+    );
+}
+
+/// A lost wakeup turns into a deadlock the watchdog diagnoses, naming
+/// the barrier and both stuck tasks, instead of spinning to the limit
+/// silently or panicking.
+#[test]
+fn lost_wakeup_injector_deadlocks_with_diagnostics() {
+    let mut sim = sterile_sim(11);
+    let b = spawn_pair(&mut sim, 20, 3.0e6);
+    sim.inject_faults(&FaultPlan::new().lost_wakeups(MS, 1));
+    match sim.run(SEC) {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            assert!(!blocked.is_empty(), "diagnostics must name someone");
+            assert!(
+                blocked
+                    .iter()
+                    .any(|bt| matches!(bt.wait, BlockedOn::Barrier { obj, .. } if obj == b)),
+                "diagnostics must name barrier {b:?}: {blocked:?}"
+            );
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+/// The same seed and plan produce a bit-identical report; a different
+/// seed shifts the storm and lands elsewhere.
+#[test]
+fn injected_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut sim = sterile_sim(seed);
+        spawn_pair(&mut sim, 20, 3.0e6);
+        sim.inject_faults(&FaultPlan::new().noise_storm(MS, 10 * MS, 20 * US, 50 * US, 0.3));
+        let rep = sim.run(SEC).expect("stormed run completes");
+        (rep.final_time, rep.counters.noise_events, rep.counters.preemptions)
+    };
+    assert_eq!(run(42), run(42), "same seed must replay identically");
+    assert_ne!(run(42), run(43), "different seed must differ");
+}
+
+/// Injecting a plan does not perturb the model's existing RNG streams:
+/// a fault at a time the run never reaches leaves the schedule
+/// untouched.
+#[test]
+fn unreached_fault_does_not_perturb_run() {
+    let clean = baseline(12);
+    let mut sim = sterile_sim(12);
+    spawn_pair(&mut sim, 20, 3.0e6);
+    sim.inject_faults(&FaultPlan::new().noise_storm(10 * SEC, MS, 20 * US, 50 * US, 0.3));
+    let rep = sim.run(SEC).expect("run completes");
+    assert_eq!(rep.final_time, clean, "unfired fault must be free");
+}
+
+/// The event budget is a runaway backstop: a tiny budget aborts with a
+/// typed error carrying the partial report.
+#[test]
+fn event_budget_aborts_with_partial_report() {
+    let mut sim = sterile_sim(13);
+    spawn_pair(&mut sim, 20, 3.0e6);
+    sim.set_event_budget(10);
+    match sim.run(SEC) {
+        Err(SimError::EventBudgetExceeded { budget, partial }) => {
+            assert_eq!(budget, 10);
+            assert_eq!(partial.unfinished, 2);
+        }
+        other => panic!("expected EventBudgetExceeded, got {other:?}"),
+    }
+}
+
+/// A malformed program (lock acquire on a barrier id) is a typed error,
+/// not a panic.
+#[test]
+fn object_type_mismatch_is_typed() {
+    let mut sim = sterile_sim(14);
+    let b = sim.add_barrier(1, 1.0);
+    let prog = Program::builder().lock(b).build();
+    sim.spawn_user(0, prog, pin(0));
+    match sim.run(SEC) {
+        Err(SimError::ObjectTypeMismatch { expected, found, .. }) => {
+            assert_eq!(expected, "lock");
+            assert_eq!(found, "barrier");
+        }
+        other => panic!("expected ObjectTypeMismatch, got {other:?}"),
+    }
+}

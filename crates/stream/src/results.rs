@@ -91,6 +91,7 @@ mod tests {
         let rt = SimRuntime::new(machine, RtConfig::pinned_close(Places::Threads(Some(n))))
             .with_params(params);
         rt.run_region(&region(&StreamConfig::small(), n), 11)
+            .expect("stream region completes")
     }
 
     #[test]

@@ -43,10 +43,10 @@ fn main() {
         ("mixed", CorunClass::Mixed),
         ("throughput", CorunClass::Throughput),
     ] {
-        let st = Platform::Dardel.pinned_rt(n).run_region(&region(class, n), 1);
+        let st = Platform::Dardel.pinned_rt(n).run_region(&region(class, n), 1).expect("region run completes");
         let mt = Platform::Dardel
             .pinned_mt_rt(n)
-            .run_region(&region(class, n), 1);
+            .run_region(&region(class, n), 1).expect("region run completes");
         let st_mean = Summary::of(st.reps()).mean;
         let mt_mean = Summary::of(mt.reps()).mean;
         println!(

@@ -34,7 +34,7 @@ fn main() {
         ("16 cores on 1 NUMA ", Platform::Vera.numa_rt(&[0], 16)),
         ("8+8 cores, 2 NUMAs ", Platform::Vera.numa_rt(&[0, 1], 8)),
     ] {
-        let res = rt.run_region(&region, 3);
+        let res = rt.run_region(&region, 3).expect("region run completes");
         let trace = FreqTrace::new(
             res.freq_samples
                 .iter()

@@ -29,7 +29,7 @@ fn main() {
     for c in SyncConstruct::ALL {
         let inner = syncbench::calibrate_inner_reps(&rt, &cfg, c, n, 200);
         let region = syncbench::region_with_inner(&cfg, c, n, inner);
-        let res = rt.run_region(&region, 0);
+        let res = rt.run_region(&region, 0).expect("region run completes");
         let s = Summary::of(res.reps());
         let per_op = syncbench::overhead_us(&cfg, c, s.mean, inner);
         println!(

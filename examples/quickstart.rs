@@ -34,7 +34,7 @@ fn main() {
     // Backend 1: the native runtime — real threads on this host, using
     // the crate's own barrier/workshare primitives.
     let native = NativeRuntime::new(RtConfig::unbound());
-    let res = native.run_region(&region, 0);
+    let res = native.run_region(&region, 0).expect("region run completes");
     let s = Summary::of(res.reps());
     println!(
         "native : {} reps, mean {:8.1} µs, cv {:.4}, min {:8.1}, max {:8.1}",
@@ -49,7 +49,7 @@ fn main() {
         machine,
         RtConfig::pinned_close(Places::Cores(Some(n_threads))),
     );
-    let res = sim.run_region(&region, 42);
+    let res = sim.run_region(&region, 42).expect("region run completes");
     let s = Summary::of(res.reps());
     println!(
         "sim    : {} reps, mean {:8.1} µs, cv {:.4}, min {:8.1}, max {:8.1}",

@@ -1,0 +1,91 @@
+//! Offline stand-in for the subset of the `libc` crate this workspace
+//! uses (see `stubs/README.md`). Only the CPU-affinity surface consumed
+//! by `ompvar-rt`'s thread pinning is provided. The `extern "C"`
+//! declarations bind to the system C library that `std` already links.
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `long` (LP64).
+pub type c_long = i64;
+/// POSIX process id.
+pub type pid_t = i32;
+/// C `size_t`.
+pub type size_t = usize;
+
+/// Number of CPUs representable in a `cpu_set_t` (glibc default).
+pub const CPU_SETSIZE: c_int = 1024;
+/// `sysconf` selector for the number of online processors (Linux).
+pub const _SC_NPROCESSORS_ONLN: c_int = 84;
+
+/// Fixed-size CPU bitset matching glibc's `cpu_set_t` layout
+/// (1024 bits as an array of `unsigned long`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SETSIZE as usize / 64],
+}
+
+/// Clear all CPUs in `set`.
+///
+/// # Safety
+/// Safe in this implementation; `unsafe` to match the libc crate's
+/// signature so call sites are source-compatible.
+pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; CPU_SETSIZE as usize / 64];
+}
+
+/// Add `cpu` to `set` (out-of-range CPUs are ignored, as in glibc).
+///
+/// # Safety
+/// Safe in this implementation; see [`CPU_ZERO`].
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / 64] |= 1 << (cpu % 64);
+    }
+}
+
+/// Whether `cpu` is in `set`.
+///
+/// # Safety
+/// Safe in this implementation; see [`CPU_ZERO`].
+pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && set.bits[cpu / 64] & (1 << (cpu % 64)) != 0
+}
+
+extern "C" {
+    /// Bind `pid` (0 = calling thread) to the CPUs in `cpuset`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    /// Read back the affinity mask of `pid` (0 = calling thread).
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
+    /// POSIX `sysconf`.
+    pub fn sysconf(name: c_int) -> c_long;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_roundtrip() {
+        unsafe {
+            let mut set: cpu_set_t = std::mem::zeroed();
+            CPU_ZERO(&mut set);
+            assert!(!CPU_ISSET(0, &set));
+            CPU_SET(0, &mut set);
+            CPU_SET(65, &mut set);
+            CPU_SET(5000, &mut set); // ignored, out of range
+            assert!(CPU_ISSET(0, &set));
+            assert!(CPU_ISSET(65, &set));
+            assert!(!CPU_ISSET(1, &set));
+            assert!(!CPU_ISSET(5000, &set));
+        }
+    }
+
+    #[test]
+    fn sysconf_reports_processors() {
+        let n = unsafe { sysconf(_SC_NPROCESSORS_ONLN) };
+        assert!(n >= 1, "at least one online CPU, got {n}");
+    }
+}

@@ -1,0 +1,125 @@
+//! The `Strategy` trait and the combinators this workspace uses:
+//! range strategies, tuples, and `prop_map`.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Scalars that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)` or `[lo, hi]` when `inclusive`.
+    fn sample(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self {
+                let (lo64, hi64) = (lo as u64, hi as u64);
+                let span = if inclusive { hi64 - lo64 + 1 } else { hi64 - lo64 };
+                assert!(span > 0, "empty range strategy");
+                (lo64 + rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample(lo: Self, hi: Self, _inclusive: bool, rng: &mut TestRng) -> Self {
+        assert!(hi > lo, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(*self.start(), *self.end(), true, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_cover_endpoints_correctly() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        let mut seen_max_excl = false;
+        for _ in 0..500 {
+            let v = (0u8..3).generate(&mut rng);
+            assert!(v < 3);
+            let w = (0u8..=2).generate(&mut rng);
+            assert!(w <= 2);
+            seen_max_excl |= v == 2;
+        }
+        assert!(seen_max_excl, "range sampling never reached top value");
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = TestRng::for_case("map", 0);
+        let v = (1usize..4).prop_map(|x| x * 10).generate(&mut rng);
+        assert!([10, 20, 30].contains(&v));
+    }
+}

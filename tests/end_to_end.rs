@@ -36,8 +36,8 @@ fn region_runs_on_both_backends() {
         RtConfig::pinned_close(Places::Threads(Some(3))),
     );
     let nat = NativeRuntime::new(RtConfig::unbound());
-    let rs = sim.run_region(&region, 5);
-    let rn = nat.run_region(&region, 5);
+    let rs = sim.run_region(&region, 5).expect("region run completes");
+    let rn = nat.run_region(&region, 5).expect("region run completes");
     assert_eq!(rs.reps().len(), 4);
     assert_eq!(rn.reps().len(), 4);
     assert!(rs.counters.is_some());
@@ -71,7 +71,7 @@ fn places_string_to_span_cost() {
             RtConfig::from_env_strs(places, "close").unwrap(),
         )
         .with_params(SimParams::sterile());
-        let res = rt.run_region(&region, 1);
+        let res = rt.run_region(&region, 1).expect("region run completes");
         Summary::of(res.reps()).mean
     };
     let same_socket = run_with("{0},{1},{2},{3},{4},{5},{6},{7}");
@@ -123,7 +123,7 @@ fn st_absorbs_noise_mt_does_not() {
     let count_preempt = |rt: &SimRuntime| {
         let mut total = 0;
         for seed in 0..3 {
-            let res = rt.run_region(&region, seed);
+            let res = rt.run_region(&region, seed).expect("region run completes");
             total += res.counters.unwrap().preemptions;
         }
         total
@@ -168,7 +168,7 @@ fn native_runs_every_sync_construct() {
     let nat = NativeRuntime::new(RtConfig::unbound());
     for c in SyncConstruct::ALL {
         let region = syncbench::region_with_inner(&cfg, c, 2, 3);
-        let res = nat.run_region(&region, 0);
+        let res = nat.run_region(&region, 0).expect("region run completes");
         assert_eq!(res.reps().len(), 2, "{}", c.label());
     }
 }
@@ -180,7 +180,7 @@ fn babelstream_end_to_end() {
     use ompvar::stream::{kernel_stats, StreamConfig, StreamKernel};
     let cfg = StreamConfig::small();
     let rt = ompvar::harness::Platform::Vera.pinned_rt(8);
-    let res = rt.run_region(&ompvar::stream::region(&cfg, 8), 1);
+    let res = rt.run_region(&ompvar::stream::region(&cfg, 8), 1).expect("region run completes");
     let stats = kernel_stats(&res);
     assert!(stats[&StreamKernel::Add].avg_us > stats[&StreamKernel::Copy].avg_us);
     assert!(stats[&StreamKernel::Dot].avg_us > 0.0);
@@ -194,10 +194,10 @@ fn pinning_changes_the_distribution() {
     let region = syncbench::region_with_inner(&cfg, SyncConstruct::Reduction, 32, 12);
     let unb = ompvar::harness::Platform::Dardel
         .unbound_rt()
-        .run_region(&region, 11);
+        .run_region(&region, 11).expect("region run completes");
     let pin = ompvar::harness::Platform::Dardel
         .pinned_rt(32)
-        .run_region(&region, 11);
+        .run_region(&region, 11).expect("region run completes");
     let (d, p) = ompvar::core::ks_test(unb.reps(), pin.reps());
     assert!(d > 0.5, "KS d = {d}");
     assert!(p < 0.01, "KS p = {p}");

@@ -248,7 +248,7 @@ proptest! {
             .compute(mcycles * 1e6, CorunClass::Latency)
             .build();
         sim.spawn_user(0, prog, Some(Place::single(HwThreadId(0))));
-        let rep = sim.run(ompvar::sim::time::SEC * 10);
+        let rep = sim.run(ompvar::sim::time::SEC * 10).expect("sterile run completes");
         let expect = mcycles * 1e6 / 3.0; // ns at 3 GHz
         let got = rep.final_time as f64;
         prop_assert!((got - expect).abs() < 10.0, "got {} expect {}", got, expect);
