@@ -13,20 +13,20 @@
 //! experiments (the exit code still reflects the failure).
 
 use ompvar_harness::{
-    ablation, chunks, faults_exp, fig1, fig2, fig3, fig4, fig5, fig67, table2, taskbench_exp,
-    Check, ExpOptions, ExpReport,
+    ablation, chunks, faults_exp, fig1, fig2, fig3, fig4, fig5, fig67, fuzz_exp, table2,
+    taskbench_exp, Check, ExpOptions, ExpReport,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "taskbench",
-    "chunks", "faults",
+    "chunks", "faults", "fuzz",
 ];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ompvar-repro [--fast] [--seed N] [--out DIR] <{}|all>",
+        "usage: ompvar-repro [--fast] [--seed N] [--out DIR] [--fuzz-cases N] <{}|all>",
         EXPERIMENTS.join("|")
     );
     std::process::exit(2);
@@ -46,6 +46,7 @@ fn run_one(name: &str, opts: &ExpOptions) -> ExpReport {
         "taskbench" => taskbench_exp::run(opts),
         "chunks" => chunks::run(opts),
         "faults" => faults_exp::run(opts),
+        "fuzz" => fuzz_exp::run(opts),
         // Names are validated before any experiment runs.
         other => unreachable!("unvalidated experiment name {other:?}"),
     }
@@ -89,6 +90,10 @@ fn main() -> ExitCode {
             "--out" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.out_dir = v.into();
+            }
+            "--fuzz-cases" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.fuzz_cases = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {

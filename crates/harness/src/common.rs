@@ -128,6 +128,9 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Directory for CSV outputs (created on demand).
     pub out_dir: PathBuf,
+    /// Fuzz-case budget override for the `fuzz` experiment
+    /// (`--fuzz-cases`); `None` uses the experiment's default.
+    pub fuzz_cases: Option<u64>,
 }
 
 impl Default for ExpOptions {
@@ -136,6 +139,7 @@ impl Default for ExpOptions {
             fast: false,
             seed: 20230714, // arbitrary fixed default: SC'23 submission era
             out_dir: PathBuf::from("results"),
+            fuzz_cases: None,
         }
     }
 }

@@ -19,3 +19,4 @@ pub mod ablation;
 pub mod taskbench_exp;
 pub mod chunks;
 pub mod faults_exp;
+pub mod fuzz_exp;

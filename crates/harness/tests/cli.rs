@@ -123,3 +123,27 @@ fn same_seed_reproduces_identical_output() {
     assert_eq!(run(), run());
     std::fs::remove_dir_all(std::env::temp_dir().join("ompvar_cli_det")).ok();
 }
+
+/// The fuzz experiment honors `--fuzz-cases` and passes on a small
+/// fixed-seed campaign.
+#[test]
+fn fuzz_smoke_with_case_budget() {
+    let out_dir = std::env::temp_dir().join("ompvar_cli_fuzz_test");
+    let out = repro()
+        .args(["--fuzz-cases", "5", "--seed", "42", "--out"])
+        .arg(&out_dir)
+        .arg("fuzz")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {stdout}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("5 differential case(s)"), "{stdout}");
+    assert!(stdout.contains("[PASS]"));
+    assert!(!stdout.contains("[FAIL]"), "{stdout}");
+    assert!(out_dir.join("fuzz_0.csv").exists());
+    std::fs::remove_dir_all(&out_dir).ok();
+}

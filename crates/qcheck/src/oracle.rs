@@ -1,0 +1,176 @@
+//! Semantic-effect and determinism oracles, and the differential check
+//! that runs one generated program on both backends.
+//!
+//! A case passes when:
+//!
+//! 1. the program validates (the generator's contract);
+//! 2. the simulated backend completes, twice, with bit-identical results
+//!    for the same seed (determinism oracle);
+//! 3. the native backend completes;
+//! 4. both backends' harvested [`SemanticEffects`] equal the statically
+//!    predicted effects of the construct tree — iteration coverage,
+//!    lock-entry, reduction-combine, single-winner, barrier-arrival and
+//!    task counts all agree exactly;
+//! 5. neither backend observed a mutual-exclusion or ordered-sequence
+//!    violation;
+//! 6. both backends produced the same measured-interval shape (same
+//!    marker ids, same repetition counts — mark-pair well-nesting).
+
+use ompvar_rt::native::NativeRuntime;
+use ompvar_rt::region::RegionSpec;
+use ompvar_rt::simrt::SimRuntime;
+use ompvar_rt::RtConfig;
+use ompvar_sim::params::SimParams;
+use ompvar_sim::time::SEC;
+use ompvar_sim::trace::SemanticEffects;
+use ompvar_topology::{MachineSpec, Places};
+use std::time::Duration;
+
+/// The simulated runtime used for differential runs: a modeled Vera node,
+/// threads pinned close, sterile parameters (no noise/DVFS/SMT effects),
+/// so results are a pure function of `(region, seed)`.
+pub fn sim_runtime(n_threads: usize) -> SimRuntime {
+    SimRuntime::new(
+        MachineSpec::vera(),
+        RtConfig::pinned_close(Places::Threads(Some(n_threads))),
+    )
+    .with_params(SimParams::sterile())
+    .with_time_limit(300 * SEC)
+}
+
+/// The native runtime used for differential runs: unpinned (CI-safe)
+/// with a generous-but-bounded deadline so a semantic bug shows up as a
+/// typed timeout, not a hang.
+pub fn native_runtime() -> NativeRuntime {
+    NativeRuntime::new(RtConfig::unbound()).with_deadline(Some(Duration::from_secs(30)))
+}
+
+/// Check one violation category, pushing a reason string on mismatch.
+fn expect_eq(
+    reasons: &mut Vec<String>,
+    what: &str,
+    got: &SemanticEffects,
+    want: &SemanticEffects,
+) {
+    if got != want {
+        reasons.push(format!(
+            "{what} effects diverge from prediction:\n    got  {got:?}\n    want {want:?}"
+        ));
+    }
+}
+
+/// Run every oracle against `region` with the given seed. Returns the
+/// list of violations; an empty list means the case passed.
+pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
+    let mut reasons = Vec::new();
+    if let Err(e) = region.validate() {
+        reasons.push(format!("generator contract violated: {e}"));
+        return reasons;
+    }
+    let want = region.expected_effects();
+
+    // Simulated backend, twice: completion + determinism + effects.
+    let sim = sim_runtime(region.n_threads);
+    let sim_result = match (sim.run(region, seed), sim.run(region, seed)) {
+        (Ok(a), Ok(b)) => {
+            // f64 Debug is shortest-roundtrip, so equal strings mean
+            // bit-identical results.
+            if format!("{a:?}") != format!("{b:?}") {
+                reasons.push(format!(
+                    "sim replay with seed {seed} is not bit-identical"
+                ));
+            }
+            expect_eq(&mut reasons, "sim", &a.effects, &want);
+            Some(a)
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            reasons.push(format!("sim backend failed: {e}"));
+            None
+        }
+    };
+
+    // Native backend: completion + effects + violation counters.
+    let native_result = match native_runtime().run(region) {
+        Ok(r) => {
+            expect_eq(&mut reasons, "native", &r.effects, &want);
+            if r.effects.mutex_violations != 0 {
+                reasons.push(format!(
+                    "native observed {} mutual-exclusion violation(s)",
+                    r.effects.mutex_violations
+                ));
+            }
+            if r.effects.ordered_violations != 0 {
+                reasons.push(format!(
+                    "native observed {} ordered-sequence violation(s)",
+                    r.effects.ordered_violations
+                ));
+            }
+            Some(r)
+        }
+        Err(e) => {
+            reasons.push(format!("native backend failed: {e}"));
+            None
+        }
+    };
+
+    // Interval shape: same marker ids with the same repetition counts on
+    // both backends (mark-interval well-nesting oracle).
+    if let (Some(s), Some(n)) = (&sim_result, &native_result) {
+        let sim_shape: Vec<(u32, usize)> =
+            s.intervals_us.iter().map(|(k, v)| (*k, v.len())).collect();
+        let native_shape: Vec<(u32, usize)> =
+            n.intervals_us.iter().map(|(k, v)| (*k, v.len())).collect();
+        if sim_shape != native_shape {
+            reasons.push(format!(
+                "measured-interval shapes differ: sim {sim_shape:?} vs native {native_shape:?}"
+            ));
+        }
+    }
+    reasons
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompvar_rt::region::{Construct, Schedule};
+
+    #[test]
+    fn handwritten_mixed_region_passes_all_oracles() {
+        let region = RegionSpec::new(
+            2,
+            vec![
+                Construct::Barrier,
+                Construct::ParallelFor {
+                    schedule: Schedule::Dynamic { chunk: 2 },
+                    total_iters: 16,
+                    body_us: 0.2,
+                    ordered_us: Some(0.1),
+                    nowait: false,
+                },
+                Construct::Critical { body_us: 0.1 },
+                Construct::Reduction { body_us: 0.1 },
+                Construct::Single { body_us: 0.1 },
+                Construct::Atomic,
+                Construct::Tasks {
+                    per_spawner: 2,
+                    body_us: 0.1,
+                    master_only: false,
+                },
+            ],
+        )
+        .expect("region is valid");
+        let reasons = check_case(&region, 7);
+        assert!(reasons.is_empty(), "{reasons:#?}");
+    }
+
+    #[test]
+    fn invalid_region_is_reported_not_run() {
+        let bad = RegionSpec {
+            n_threads: 2,
+            constructs: vec![Construct::MarkBegin(0)],
+        };
+        let reasons = check_case(&bad, 1);
+        assert_eq!(reasons.len(), 1);
+        assert!(reasons[0].contains("contract"), "{reasons:?}");
+    }
+}

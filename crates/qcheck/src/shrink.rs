@@ -1,0 +1,294 @@
+//! Greedy construct-list shrinking of failing programs.
+//!
+//! Given a region and a failure predicate, repeatedly tries one-edit
+//! simplifications — removing a construct, inlining a `Repeat`/
+//! `ParallelRegion` body, lowering counts/iterations/threads, dropping
+//! `ordered`/`nowait` — keeping any still-failing (and still-valid)
+//! variant, until no single edit reproduces the failure or the predicate
+//! budget runs out. The result plus the case seed is a replayable
+//! minimal counterexample.
+
+use ompvar_rt::region::{Construct, RegionSpec, Schedule};
+
+/// Shrink `region` to a (locally) minimal program for which `fails`
+/// still returns `true`. `budget` bounds the number of predicate calls —
+/// each one typically runs both backends, so keep it modest.
+pub fn shrink(
+    region: &RegionSpec,
+    fails: &mut dyn FnMut(&RegionSpec) -> bool,
+    budget: usize,
+) -> RegionSpec {
+    let mut cur = region.clone();
+    let mut calls = 0usize;
+    'outer: loop {
+        for cand in candidates(&cur) {
+            if calls >= budget {
+                break 'outer;
+            }
+            // Never hand the predicate a malformed program: shrinking
+            // must stay inside the validated grammar.
+            if cand.validate().is_err() || cand == cur {
+                continue;
+            }
+            calls += 1;
+            if fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    cur
+}
+
+/// A replayable dump of a counterexample: the seed to pass back via
+/// `--seed` plus the (shrunk) program.
+pub fn dump(region: &RegionSpec, case_seed: u64) -> String {
+    format!(
+        "replay with: ompvar-repro fuzz --fuzz-cases 1 --seed {case_seed}\n\
+         minimal program ({} threads): {:?}",
+        region.n_threads, region.constructs
+    )
+}
+
+/// All one-edit simplification candidates of `region`, roughly
+/// biggest-reduction first.
+fn candidates(region: &RegionSpec) -> Vec<RegionSpec> {
+    let mut out = Vec::new();
+    for cs in block_edits(&region.constructs) {
+        out.push(RegionSpec {
+            n_threads: region.n_threads,
+            constructs: cs,
+        });
+    }
+    if region.n_threads > 1 {
+        for n in [1, region.n_threads / 2] {
+            out.push(RegionSpec {
+                n_threads: n,
+                constructs: region.constructs.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// One-edit variants of a construct block: removals first (largest
+/// reduction), then in-place simplifications, then recursive edits of
+/// nested bodies.
+fn block_edits(cs: &[Construct]) -> Vec<Vec<Construct>> {
+    let mut out = Vec::new();
+    let splice = |i: usize, replacement: Vec<Construct>| -> Vec<Construct> {
+        let mut v = cs[..i].to_vec();
+        v.extend(replacement);
+        v.extend_from_slice(&cs[i + 1..]);
+        v
+    };
+    for (i, c) in cs.iter().enumerate() {
+        // Removal. A MarkBegin is removed together with its matching
+        // MarkEnd (removing one alone would not validate).
+        if let Construct::MarkBegin(id) = c {
+            if let Some(j) = cs
+                .iter()
+                .position(|k| matches!(k, Construct::MarkEnd(e) if e == id))
+            {
+                let mut v: Vec<Construct> = Vec::with_capacity(cs.len() - 2);
+                for (k, item) in cs.iter().enumerate() {
+                    if k != i && k != j {
+                        v.push(item.clone());
+                    }
+                }
+                out.push(v);
+            }
+        } else {
+            out.push(splice(i, Vec::new()));
+        }
+        match c {
+            Construct::Repeat { count, body } => {
+                out.push(splice(i, body.clone()));
+                if *count > 1 {
+                    for c2 in [1, count / 2] {
+                        out.push(splice(
+                            i,
+                            vec![Construct::Repeat {
+                                count: c2,
+                                body: body.clone(),
+                            }],
+                        ));
+                    }
+                }
+                for b in block_edits(body) {
+                    out.push(splice(
+                        i,
+                        vec![Construct::Repeat {
+                            count: *count,
+                            body: b,
+                        }],
+                    ));
+                }
+            }
+            Construct::ParallelRegion { body } => {
+                out.push(splice(i, body.clone()));
+                for b in block_edits(body) {
+                    out.push(splice(i, vec![Construct::ParallelRegion { body: b }]));
+                }
+            }
+            Construct::ParallelFor {
+                schedule,
+                total_iters,
+                body_us,
+                ordered_us,
+                nowait,
+            } => {
+                let base = |iters: u64, ord: Option<f64>, nw: bool, sched: Schedule| {
+                    Construct::ParallelFor {
+                        schedule: sched,
+                        total_iters: iters,
+                        body_us: *body_us,
+                        ordered_us: ord,
+                        nowait: nw,
+                    }
+                };
+                if *total_iters > 1 {
+                    for it in [1, total_iters / 2] {
+                        out.push(splice(i, vec![base(it, *ordered_us, *nowait, *schedule)]));
+                    }
+                }
+                if ordered_us.is_some() {
+                    out.push(splice(i, vec![base(*total_iters, None, *nowait, *schedule)]));
+                }
+                if *nowait {
+                    out.push(splice(i, vec![base(*total_iters, *ordered_us, false, *schedule)]));
+                }
+                let plain = Schedule::Static { chunk: 1 };
+                if *schedule != plain {
+                    out.push(splice(i, vec![base(*total_iters, *ordered_us, *nowait, plain)]));
+                }
+            }
+            Construct::Tasks {
+                per_spawner,
+                body_us,
+                master_only,
+            } => {
+                if *per_spawner > 1 {
+                    out.push(splice(
+                        i,
+                        vec![Construct::Tasks {
+                            per_spawner: 1,
+                            body_us: *body_us,
+                            master_only: *master_only,
+                        }],
+                    ));
+                }
+                if !master_only {
+                    out.push(splice(
+                        i,
+                        vec![Construct::Tasks {
+                            per_spawner: *per_spawner,
+                            body_us: *body_us,
+                            master_only: true,
+                        }],
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Does the region contain a `Reduction` construct at any depth?
+    fn has_reduction(cs: &[Construct]) -> bool {
+        cs.iter().any(|c| match c {
+            Construct::Reduction { .. } => true,
+            Construct::Repeat { body, .. } | Construct::ParallelRegion { body } => {
+                has_reduction(body)
+            }
+            _ => false,
+        })
+    }
+
+    #[test]
+    fn shrinks_to_single_construct_for_containment_predicate() {
+        // A deliberately-broken oracle: "no program may contain a
+        // Reduction". The shrinker must strip everything else away.
+        let region = RegionSpec::new(
+            4,
+            vec![
+                Construct::Barrier,
+                Construct::MarkBegin(0),
+                Construct::Repeat {
+                    count: 3,
+                    body: vec![
+                        Construct::DelayUs(1.0),
+                        Construct::Reduction { body_us: 0.5 },
+                        Construct::Atomic,
+                    ],
+                },
+                Construct::MarkEnd(0),
+                Construct::Critical { body_us: 0.2 },
+            ],
+        )
+        .expect("valid");
+        let shrunk = shrink(&region, &mut |r| has_reduction(&r.constructs), 2000);
+        assert_eq!(shrunk.n_threads, 1);
+        assert_eq!(shrunk.constructs.len(), 1);
+        assert!(
+            matches!(shrunk.constructs[0], Construct::Reduction { .. }),
+            "{shrunk:?}"
+        );
+    }
+
+    #[test]
+    fn shrinking_never_produces_invalid_candidates_in_result() {
+        let region = RegionSpec::new(
+            2,
+            vec![
+                Construct::MarkBegin(0),
+                Construct::ParallelFor {
+                    schedule: Schedule::Guided { min_chunk: 2 },
+                    total_iters: 16,
+                    body_us: 0.1,
+                    ordered_us: Some(0.1),
+                    nowait: false,
+                },
+                Construct::MarkEnd(0),
+            ],
+        )
+        .expect("valid");
+        // Predicate: "contains an ordered loop".
+        let shrunk = shrink(
+            &region,
+            &mut |r| {
+                r.constructs.iter().any(|c| {
+                    matches!(
+                        c,
+                        Construct::ParallelFor {
+                            ordered_us: Some(_),
+                            ..
+                        }
+                    )
+                })
+            },
+            2000,
+        );
+        assert!(shrunk.validate().is_ok());
+        assert_eq!(shrunk.n_threads, 1);
+        assert_eq!(shrunk.constructs.len(), 1);
+        let Construct::ParallelFor { total_iters, .. } = &shrunk.constructs[0] else {
+            panic!("expected a loop, got {shrunk:?}");
+        };
+        assert_eq!(*total_iters, 1);
+    }
+
+    #[test]
+    fn dump_is_replayable() {
+        let region = RegionSpec::new(1, vec![Construct::Barrier]).expect("valid");
+        let d = dump(&region, 123);
+        assert!(d.contains("--seed 123"), "{d}");
+        assert!(d.contains("Barrier"), "{d}");
+    }
+}

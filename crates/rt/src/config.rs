@@ -2,7 +2,7 @@
 //! the `OMP_PLACES` / `OMP_PROC_BIND` environment variables, and the
 //! result type shared by both backends.
 
-use ompvar_sim::trace::{Counters, FreqSample};
+use ompvar_sim::trace::{Counters, FreqSample, SemanticEffects};
 use ompvar_sim::task::TaskStats;
 use ompvar_topology::{Places, ProcBind};
 use std::collections::BTreeMap;
@@ -61,6 +61,10 @@ pub struct RegionResult {
     /// backend only): busy/wait/preempted time, migrations, preemptions —
     /// the raw material for straggler analyses.
     pub thread_stats: Vec<TaskStats>,
+    /// Schedule-independent semantic effects of the run, harvested from
+    /// the backend's sync-object counters. Both backends fill this, which
+    /// is what makes runs differentially comparable (see `ompvar-qcheck`).
+    pub effects: SemanticEffects,
 }
 
 impl RegionResult {

@@ -7,6 +7,7 @@
 //! cannot complete returns an `Err` the caller can render, instead of
 //! hanging or panicking.
 
+use crate::region::RegionError;
 use ompvar_sim::error::SimError;
 use std::time::Duration;
 
@@ -24,6 +25,10 @@ pub enum RtError {
         /// The configured deadline.
         deadline: Duration,
     },
+    /// The region failed structural validation
+    /// ([`crate::region::RegionSpec::validate`]) — it was rejected before
+    /// either backend ran it.
+    InvalidRegion(RegionError),
 }
 
 impl From<SimError> for RtError {
@@ -43,6 +48,7 @@ impl std::fmt::Display for RtError {
                 f,
                 "native run exceeded its {deadline:?} deadline waiting at a {construct}"
             ),
+            RtError::InvalidRegion(e) => write!(f, "invalid region: {e}"),
         }
     }
 }
@@ -52,6 +58,7 @@ impl std::error::Error for RtError {
         match self {
             RtError::Sim(e) => Some(e),
             RtError::Timeout { .. } => None,
+            RtError::InvalidRegion(e) => Some(e),
         }
     }
 }

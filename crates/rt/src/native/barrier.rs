@@ -7,7 +7,7 @@
 //! `spin_loop()` and periodically `yield_now()` so oversubscribed hosts
 //! (like CI containers) still make progress.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Centralized sense-reversing barrier for a fixed-size team.
 #[derive(Debug)]
@@ -15,6 +15,7 @@ pub struct SenseBarrier {
     n: usize,
     remaining: AtomicUsize,
     sense: AtomicBool,
+    arrivals: AtomicU64,
 }
 
 impl SenseBarrier {
@@ -25,12 +26,18 @@ impl SenseBarrier {
             n,
             remaining: AtomicUsize::new(n),
             sense: AtomicBool::new(false),
+            arrivals: AtomicU64::new(0),
         }
     }
 
     /// Team size.
     pub fn team_size(&self) -> usize {
         self.n
+    }
+
+    /// Effect counter: total per-thread arrivals across all rounds.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals.load(Ordering::Acquire)
     }
 
     /// Wait at the barrier. `local_sense` is the caller's per-thread sense
@@ -51,6 +58,7 @@ impl SenseBarrier {
     }
 
     fn wait_impl(&self, local_sense: &mut bool, guard: Option<&super::guard::RunGuard>) -> bool {
+        self.arrivals.fetch_add(1, Ordering::Relaxed);
         *local_sense = !*local_sense;
         let expected = *local_sense;
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {

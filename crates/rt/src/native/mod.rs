@@ -18,6 +18,7 @@ pub mod workshare;
 use crate::config::{RegionResult, RtConfig};
 use crate::error::RtError;
 use crate::region::{Construct, RegionSpec};
+use ompvar_sim::trace::SemanticEffects;
 use barrier::SenseBarrier;
 use delay::delay;
 use guard::RunGuard;
@@ -27,11 +28,71 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use workshare::{LoopCursor, NativeLoop};
 
-/// One allocated native sync object, aligned with the construct traversal.
+/// A mutex plus mutual-exclusion instrumentation: entries are counted
+/// and an occupancy check records a violation whenever two threads are
+/// observed inside the protected section at once (the oracle for
+/// `critical`/lock constructs and reduction combines).
+struct NativeLock {
+    inner: Mutex<f64>,
+    entries: AtomicU64,
+    occupancy: std::sync::atomic::AtomicUsize,
+    violations: AtomicU64,
+}
+
+impl NativeLock {
+    fn new() -> Self {
+        NativeLock {
+            inner: Mutex::new(0.0),
+            entries: AtomicU64::new(0),
+            occupancy: std::sync::atomic::AtomicUsize::new(0),
+            violations: AtomicU64::new(0),
+        }
+    }
+
+    /// Run `f` on the protected value, recording the entry and checking
+    /// mutual exclusion.
+    fn section(&self, f: impl FnOnce(&mut f64)) {
+        let mut g = self.inner.lock();
+        if self.occupancy.fetch_add(1, Ordering::AcqRel) != 0 {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.entries.fetch_add(1, Ordering::Relaxed);
+        f(&mut g);
+        self.occupancy.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// `single` construct state: entry count plus a winner tally.
+struct NativeSingle {
+    count: AtomicU64,
+    wins: AtomicU64,
+}
+
+impl NativeSingle {
+    fn new() -> Self {
+        NativeSingle {
+            count: AtomicU64::new(0),
+            wins: AtomicU64::new(0),
+        }
+    }
+
+    /// Register an entry; `true` for the round's winner (entry `k` wins
+    /// iff `k % n == 0`, rounds being separated by the implicit barrier).
+    fn enter(&self, n: u64) -> bool {
+        let win = self.count.fetch_add(1, Ordering::AcqRel).is_multiple_of(n);
+        if win {
+            self.wins.fetch_add(1, Ordering::Relaxed);
+        }
+        win
+    }
+}
+
 /// Shared state of a native explicit-task pool.
 struct NativePool {
     queue: Mutex<std::collections::VecDeque<f64>>,
     outstanding: std::sync::atomic::AtomicUsize,
+    spawned: AtomicU64,
+    executed: AtomicU64,
 }
 
 impl NativePool {
@@ -39,6 +100,8 @@ impl NativePool {
         NativePool {
             queue: Mutex::new(std::collections::VecDeque::new()),
             outstanding: std::sync::atomic::AtomicUsize::new(0),
+            spawned: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
         }
     }
 
@@ -47,6 +110,7 @@ impl NativePool {
         for _ in 0..count {
             q.push_back(body_us);
         }
+        self.spawned.fetch_add(u64::from(count), Ordering::Relaxed);
         self.outstanding
             .fetch_add(count as usize, Ordering::AcqRel);
     }
@@ -61,6 +125,7 @@ impl NativePool {
             match job {
                 Some(us) => {
                     delay(us);
+                    self.executed.fetch_add(1, Ordering::Relaxed);
                     self.outstanding.fetch_sub(1, Ordering::AcqRel);
                 }
                 None => break,
@@ -80,6 +145,7 @@ impl NativePool {
             // Help out if new work appeared.
             if let Some(us) = self.queue.lock().pop_front() {
                 delay(us);
+                self.executed.fetch_add(1, Ordering::Relaxed);
                 self.outstanding.fetch_sub(1, Ordering::AcqRel);
             }
         }
@@ -87,16 +153,64 @@ impl NativePool {
     }
 }
 
+/// One allocated native sync object, aligned with the construct traversal.
 enum NObj {
     None,
     Barrier(SenseBarrier),
-    Lock(Mutex<f64>),
+    Lock(NativeLock),
     Atomic(AtomicU64),
     LoopWithBarrier(NativeLoop, Option<SenseBarrier>, Option<f64>),
-    SingleWithBarrier(AtomicU64, SenseBarrier),
-    LockWithBarrier(Mutex<f64>, SenseBarrier),
+    SingleWithBarrier(NativeSingle, SenseBarrier),
+    LockWithBarrier(NativeLock, SenseBarrier),
     RegionBarriers(SenseBarrier, SenseBarrier),
     PoolWithBarrier(NativePool, SenseBarrier),
+}
+
+/// Fold the object table's counters into a [`SemanticEffects`] summary
+/// (the native mirror of the simulated backend's harvest — the same
+/// construct→object mapping, read back from atomics).
+fn harvest_effects(objs: &[NObj]) -> SemanticEffects {
+    let mut fx = SemanticEffects::default();
+    for o in objs {
+        match o {
+            NObj::None => {}
+            NObj::Barrier(b) => fx.barrier_arrivals += b.arrivals(),
+            NObj::Lock(l) => {
+                fx.lock_entries += l.entries.load(Ordering::Acquire);
+                fx.mutex_violations += l.violations.load(Ordering::Acquire);
+            }
+            NObj::Atomic(a) => fx.atomic_ops += a.load(Ordering::Acquire),
+            NObj::LoopWithBarrier(lp, bar, _) => {
+                let (iters, passes, ordered_done, violations) = lp.effect_counts();
+                fx.loop_iters += iters;
+                fx.loop_passes += passes;
+                fx.ordered_entries += ordered_done;
+                fx.ordered_violations += violations;
+                if let Some(b) = bar {
+                    fx.barrier_arrivals += b.arrivals();
+                }
+            }
+            NObj::SingleWithBarrier(s, b) => {
+                fx.single_entries += s.count.load(Ordering::Acquire);
+                fx.single_winners += s.wins.load(Ordering::Acquire);
+                fx.barrier_arrivals += b.arrivals();
+            }
+            NObj::LockWithBarrier(l, b) => {
+                fx.reduction_combines += l.entries.load(Ordering::Acquire);
+                fx.mutex_violations += l.violations.load(Ordering::Acquire);
+                fx.barrier_arrivals += b.arrivals();
+            }
+            NObj::RegionBarriers(entry, exit) => {
+                fx.barrier_arrivals += entry.arrivals() + exit.arrivals();
+            }
+            NObj::PoolWithBarrier(p, b) => {
+                fx.tasks_spawned += p.spawned.load(Ordering::Acquire);
+                fx.tasks_executed += p.executed.load(Ordering::Acquire);
+                fx.barrier_arrivals += b.arrivals();
+            }
+        }
+    }
+    fx
 }
 
 /// Native OpenMP-style runtime.
@@ -129,6 +243,7 @@ impl NativeRuntime {
 
     /// Execute `region` with real threads and return the measured result.
     pub fn run(&self, region: &RegionSpec) -> Result<RegionResult, RtError> {
+        region.validate().map_err(RtError::InvalidRegion)?;
         let n = region.n_threads;
         let mut objs = Vec::new();
         allocate(&region.constructs, n, &mut objs);
@@ -206,6 +321,7 @@ impl NativeRuntime {
             freq_samples: Vec::new(),
             counters: None,
             thread_stats: Vec::new(),
+            effects: harvest_effects(&objs),
         })
     }
 }
@@ -264,14 +380,14 @@ fn allocate(cs: &[Construct], n: usize, out: &mut Vec<NObj>) {
             Construct::Atomic => out.push(NObj::Atomic(AtomicU64::new(0))),
             Construct::Barrier => out.push(NObj::Barrier(SenseBarrier::new(n))),
             Construct::Critical { .. } | Construct::LockUnlock { .. } => {
-                out.push(NObj::Lock(Mutex::new(0.0)))
+                out.push(NObj::Lock(NativeLock::new()))
             }
             Construct::Single { .. } => out.push(NObj::SingleWithBarrier(
-                AtomicU64::new(0),
+                NativeSingle::new(),
                 SenseBarrier::new(n),
             )),
             Construct::Reduction { .. } => {
-                out.push(NObj::LockWithBarrier(Mutex::new(0.0), SenseBarrier::new(n)))
+                out.push(NObj::LockWithBarrier(NativeLock::new(), SenseBarrier::new(n)))
             }
             Construct::ParallelFor {
                 schedule,
@@ -336,20 +452,20 @@ fn interpret(
             }
             Construct::Critical { body_us } | Construct::LockUnlock { body_us } => {
                 let NObj::Lock(l) = &objs[my] else { unreachable!() };
-                let mut g = l.lock();
-                delay(*body_us);
-                *g += 1.0;
+                l.section(|v| {
+                    delay(*body_us);
+                    *v += 1.0;
+                });
             }
             Construct::Atomic => {
                 let NObj::Atomic(a) = &objs[my] else { unreachable!() };
                 a.fetch_add(1, Ordering::AcqRel);
             }
             Construct::Single { body_us } => {
-                let NObj::SingleWithBarrier(count, b) = &objs[my] else {
+                let NObj::SingleWithBarrier(single, b) = &objs[my] else {
                     unreachable!()
                 };
-                let n = b.team_size() as u64;
-                if count.fetch_add(1, Ordering::AcqRel) % n == 0 {
+                if single.enter(b.team_size() as u64) {
                     delay(*body_us);
                 }
                 if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
@@ -361,7 +477,8 @@ fn interpret(
                     unreachable!()
                 };
                 delay(*body_us);
-                *acc.lock() += ctx.rank as f64 + 1.0;
+                let rank = ctx.rank as f64;
+                acc.section(|v| *v += rank + 1.0);
                 if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
                     return Err("reduction");
                 }
@@ -387,6 +504,7 @@ fn interpret(
                                 if !lp.wait_ticket_bounded(i, ctx.guard) {
                                     return Err("ordered section");
                                 }
+                                lp.note_ordered_entry(i);
                                 delay(*section_us);
                                 lp.ticket_done();
                             }

@@ -26,6 +26,14 @@ pub struct NativeLoop {
     generation: AtomicU64,
     /// Ordered-section ticket: next iteration allowed in.
     pub ticket: AtomicU64,
+    /// Effect counter: iterations handed out across all generations.
+    iters: AtomicU64,
+    /// Effect counter: completed passes (generation resets).
+    passes: AtomicU64,
+    /// Effect counter: completed ordered sections.
+    ordered_done: AtomicU64,
+    /// Ordered-sequence oracle: entries whose ticket did not match.
+    ordered_violations: AtomicU64,
 }
 
 /// Per-thread cursor into a [`NativeLoop`].
@@ -48,6 +56,29 @@ impl NativeLoop {
             finished: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
             ticket: AtomicU64::new(0),
+            iters: AtomicU64::new(0),
+            passes: AtomicU64::new(0),
+            ordered_done: AtomicU64::new(0),
+            ordered_violations: AtomicU64::new(0),
+        }
+    }
+
+    /// Effect counters: `(iters, passes, ordered_done, ordered_violations)`.
+    pub fn effect_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.iters.load(Ordering::Acquire),
+            self.passes.load(Ordering::Acquire),
+            self.ordered_done.load(Ordering::Acquire),
+            self.ordered_violations.load(Ordering::Acquire),
+        )
+    }
+
+    /// Record entry into the ordered section for iteration `iter`,
+    /// checking the sequence oracle: the ticket must equal `iter` at
+    /// entry, otherwise two sections are overlapping or out of order.
+    pub fn note_ordered_entry(&self, iter: u64) {
+        if self.ticket.load(Ordering::Acquire) != iter {
+            self.ordered_violations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -55,6 +86,14 @@ impl NativeLoop {
     /// Returns `None` on exhaustion; the caller must then call
     /// [`NativeLoop::observe_exhausted`] exactly once before re-entering.
     pub fn grab(&self, rank: usize, cursor: &mut LoopCursor) -> Option<(u64, u64)> {
+        let g = self.grab_inner(rank, cursor);
+        if let Some((_, len)) = g {
+            self.iters.fetch_add(len, Ordering::Relaxed);
+        }
+        g
+    }
+
+    fn grab_inner(&self, rank: usize, cursor: &mut LoopCursor) -> Option<(u64, u64)> {
         let gen = self.generation.load(Ordering::Acquire);
         if !cursor.entered || cursor.generation != gen {
             cursor.generation = gen;
@@ -103,6 +142,7 @@ impl NativeLoop {
     pub fn observe_exhausted(&self, cursor: &mut LoopCursor) {
         cursor.entered = false;
         if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.n_threads {
+            self.passes.fetch_add(1, Ordering::Relaxed);
             self.next.store(0, Ordering::Relaxed);
             self.ticket.store(0, Ordering::Relaxed);
             self.finished.store(0, Ordering::Relaxed);
@@ -143,6 +183,7 @@ impl NativeLoop {
 
     /// Leave the ordered section: allow the next iteration in.
     pub fn ticket_done(&self) {
+        self.ordered_done.fetch_add(1, Ordering::Relaxed);
         self.ticket.fetch_add(1, Ordering::AcqRel);
     }
 }

@@ -8,6 +8,7 @@
 //! a modeled machine), which is what makes measurements comparable.
 
 use ompvar_sim::task::CorunClass;
+use ompvar_sim::trace::SemanticEffects;
 
 /// Loop schedule, mirroring `omp for schedule(...)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +150,62 @@ pub enum Construct {
     },
 }
 
+/// A structural defect of a [`RegionSpec`] found by
+/// [`RegionSpec::validate`]. Programs with any of these defects have no
+/// defined execution on at least one backend, so they are rejected up
+/// front with a typed error instead of panicking mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionError {
+    /// The team has zero threads.
+    ZeroThreads,
+    /// A `Repeat` construct has `count == 0`.
+    ZeroCountRepeat,
+    /// A `ParallelFor` has `total_iters == 0`.
+    ZeroIterationLoop,
+    /// A schedule carries a zero chunk (or min-chunk) size.
+    ZeroChunk,
+    /// A duration/size parameter is negative, NaN or infinite.
+    InvalidWork {
+        /// Which construct carried the bad value.
+        construct: &'static str,
+    },
+    /// A `MarkBegin`/`MarkEnd` pair does not balance within its block:
+    /// an end without a matching open begin, a re-begin of an id that is
+    /// already open, or a begin left open at block end.
+    UnmatchedMark {
+        /// The offending marker id.
+        id: u32,
+    },
+    /// A `nowait` loop inside a `Repeat { count > 1 }` whose body has no
+    /// full-team synchronization: re-entering a work-shared loop before
+    /// every thread has observed the previous pass's exhaustion corrupts
+    /// its generation tracking, so such programs are rejected.
+    RepeatedNowaitLoop,
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::ZeroThreads => write!(f, "team needs at least one thread"),
+            RegionError::ZeroCountRepeat => write!(f, "Repeat with count 0"),
+            RegionError::ZeroIterationLoop => write!(f, "ParallelFor with 0 iterations"),
+            RegionError::ZeroChunk => write!(f, "schedule with chunk size 0"),
+            RegionError::InvalidWork { construct } => {
+                write!(f, "{construct} has a negative or non-finite work parameter")
+            }
+            RegionError::UnmatchedMark { id } => {
+                write!(f, "unbalanced MarkBegin/MarkEnd for interval {id}")
+            }
+            RegionError::RepeatedNowaitLoop => write!(
+                f,
+                "nowait loop repeated without an intervening full-team synchronization"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
 /// A full region specification: the team size and the construct list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegionSpec {
@@ -158,13 +215,202 @@ pub struct RegionSpec {
     pub constructs: Vec<Construct>,
 }
 
+/// Reject negative/NaN/infinite work parameters.
+fn check_work(construct: &'static str, v: f64) -> Result<(), RegionError> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(())
+    } else {
+        Err(RegionError::InvalidWork { construct })
+    }
+}
+
+/// Does this block (descending into `Repeat` bodies, but not into
+/// `ParallelRegion`s, which synchronize themselves on exit) contain a
+/// `nowait` loop?
+fn contains_nowait(cs: &[Construct]) -> bool {
+    cs.iter().any(|c| match c {
+        Construct::ParallelFor { nowait, .. } => *nowait,
+        Construct::Repeat { body, .. } => contains_nowait(body),
+        _ => false,
+    })
+}
+
+/// Does this block (descending into `Repeat` bodies) contain at least one
+/// construct that rendezvouses the full team?
+fn contains_team_sync(cs: &[Construct]) -> bool {
+    cs.iter().any(|c| match c {
+        Construct::Barrier
+        | Construct::Single { .. }
+        | Construct::Reduction { .. }
+        | Construct::Tasks { .. }
+        | Construct::ParallelRegion { .. } => true,
+        Construct::ParallelFor { nowait, .. } => !nowait,
+        Construct::Repeat { body, .. } => contains_team_sync(body),
+        _ => false,
+    })
+}
+
 impl RegionSpec {
-    /// Convenience constructor.
-    pub fn new(n_threads: usize, constructs: Vec<Construct>) -> Self {
-        assert!(n_threads > 0, "team needs at least one thread");
-        RegionSpec {
+    /// Validated constructor: rejects malformed regions with a typed
+    /// [`crate::RtError::InvalidRegion`] instead of panicking later
+    /// inside a backend.
+    pub fn new(
+        n_threads: usize,
+        constructs: Vec<Construct>,
+    ) -> Result<Self, crate::error::RtError> {
+        let spec = RegionSpec {
             n_threads,
             constructs,
+        };
+        spec.validate().map_err(crate::error::RtError::InvalidRegion)?;
+        Ok(spec)
+    }
+
+    /// Structurally validate the region: the contract every program must
+    /// meet before either backend will run it (and the contract the
+    /// `ompvar-qcheck` generator promises to uphold).
+    pub fn validate(&self) -> Result<(), RegionError> {
+        if self.n_threads == 0 {
+            return Err(RegionError::ZeroThreads);
+        }
+        Self::validate_block(&self.constructs)
+    }
+
+    fn validate_block(cs: &[Construct]) -> Result<(), RegionError> {
+        // Marker ids currently open in *this* block; pairs must balance
+        // block-locally so every repetition of a block emits complete
+        // begin/end pairs.
+        let mut open: Vec<u32> = Vec::new();
+        for c in cs {
+            match c {
+                Construct::DelayUs(us) => check_work("DelayUs", *us)?,
+                Construct::Compute { cycles, .. } => check_work("Compute", *cycles)?,
+                Construct::StreamBytes(b) => check_work("StreamBytes", *b)?,
+                Construct::ParallelFor {
+                    schedule,
+                    total_iters,
+                    body_us,
+                    ordered_us,
+                    ..
+                } => {
+                    if *total_iters == 0 {
+                        return Err(RegionError::ZeroIterationLoop);
+                    }
+                    let chunk = match schedule {
+                        Schedule::Static { chunk } | Schedule::Dynamic { chunk } => *chunk,
+                        Schedule::Guided { min_chunk } => *min_chunk,
+                    };
+                    if chunk == 0 {
+                        return Err(RegionError::ZeroChunk);
+                    }
+                    check_work("ParallelFor body", *body_us)?;
+                    if let Some(o) = ordered_us {
+                        check_work("ordered section", *o)?;
+                    }
+                }
+                Construct::Critical { body_us } => check_work("Critical", *body_us)?,
+                Construct::LockUnlock { body_us } => check_work("LockUnlock", *body_us)?,
+                Construct::Single { body_us } => check_work("Single", *body_us)?,
+                Construct::Reduction { body_us } => check_work("Reduction", *body_us)?,
+                Construct::Tasks { body_us, .. } => check_work("Tasks body", *body_us)?,
+                Construct::Barrier | Construct::Atomic => {}
+                Construct::MarkBegin(id) => {
+                    if open.contains(id) {
+                        return Err(RegionError::UnmatchedMark { id: *id });
+                    }
+                    open.push(*id);
+                }
+                Construct::MarkEnd(id) => {
+                    let Some(pos) = open.iter().position(|k| k == id) else {
+                        return Err(RegionError::UnmatchedMark { id: *id });
+                    };
+                    open.remove(pos);
+                }
+                Construct::ParallelRegion { body } => Self::validate_block(body)?,
+                Construct::Repeat { count, body } => {
+                    if *count == 0 {
+                        return Err(RegionError::ZeroCountRepeat);
+                    }
+                    Self::validate_block(body)?;
+                    if *count > 1 && contains_nowait(body) && !contains_team_sync(body) {
+                        return Err(RegionError::RepeatedNowaitLoop);
+                    }
+                }
+            }
+        }
+        if let Some(id) = open.first() {
+            return Err(RegionError::UnmatchedMark { id: *id });
+        }
+        Ok(())
+    }
+
+    /// The semantic effects a correct execution of this region *must*
+    /// produce, computed statically from the construct tree. Effects are
+    /// schedule-independent (iteration totals, arrivals, combine counts),
+    /// so this single prediction applies to both backends.
+    pub fn expected_effects(&self) -> SemanticEffects {
+        let mut fx = SemanticEffects::default();
+        Self::expect_block(&self.constructs, self.n_threads as u64, 1, &mut fx);
+        fx
+    }
+
+    fn expect_block(cs: &[Construct], n: u64, mult: u64, fx: &mut SemanticEffects) {
+        for c in cs {
+            match c {
+                Construct::ParallelFor {
+                    total_iters,
+                    ordered_us,
+                    nowait,
+                    ..
+                } => {
+                    fx.loop_iters += total_iters * mult;
+                    fx.loop_passes += mult;
+                    if ordered_us.is_some() {
+                        fx.ordered_entries += total_iters * mult;
+                    }
+                    if !nowait {
+                        fx.barrier_arrivals += n * mult;
+                    }
+                }
+                Construct::Barrier => fx.barrier_arrivals += n * mult,
+                Construct::Critical { .. } | Construct::LockUnlock { .. } => {
+                    fx.lock_entries += n * mult;
+                }
+                Construct::Atomic => fx.atomic_ops += n * mult,
+                Construct::Single { .. } => {
+                    fx.single_entries += n * mult;
+                    fx.single_winners += mult;
+                    fx.barrier_arrivals += n * mult;
+                }
+                Construct::Reduction { .. } => {
+                    fx.reduction_combines += n * mult;
+                    fx.barrier_arrivals += n * mult;
+                }
+                Construct::Tasks {
+                    per_spawner,
+                    master_only,
+                    ..
+                } => {
+                    let spawners = if *master_only { 1 } else { n };
+                    fx.tasks_spawned += spawners * u64::from(*per_spawner) * mult;
+                    fx.tasks_executed += spawners * u64::from(*per_spawner) * mult;
+                    // Post-spawn and final barriers.
+                    fx.barrier_arrivals += 2 * n * mult;
+                }
+                Construct::ParallelRegion { body } => {
+                    // Entry and exit barriers.
+                    fx.barrier_arrivals += 2 * n * mult;
+                    Self::expect_block(body, n, mult, fx);
+                }
+                Construct::Repeat { count, body } => {
+                    Self::expect_block(body, n, mult * u64::from(*count), fx);
+                }
+                Construct::DelayUs(_)
+                | Construct::Compute { .. }
+                | Construct::StreamBytes(_)
+                | Construct::MarkBegin(_)
+                | Construct::MarkEnd(_) => {}
+            }
         }
     }
 
@@ -207,6 +453,7 @@ impl RegionSpec {
                 },
             ],
         )
+        .expect("measured() wrapper is structurally valid")
     }
 }
 
@@ -265,8 +512,159 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
-        RegionSpec::new(0, vec![]);
+        let err = RegionSpec::new(0, vec![]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::RtError::InvalidRegion(RegionError::ZeroThreads)
+        ));
+    }
+
+    fn valid(cs: Vec<Construct>) -> Result<(), RegionError> {
+        RegionSpec {
+            n_threads: 2,
+            constructs: cs,
+        }
+        .validate()
+    }
+
+    #[test]
+    fn validate_rejects_structural_defects() {
+        assert_eq!(
+            valid(vec![Construct::Repeat { count: 0, body: vec![] }]),
+            Err(RegionError::ZeroCountRepeat)
+        );
+        let zero_loop = Construct::ParallelFor {
+            schedule: Schedule::Static { chunk: 1 },
+            total_iters: 0,
+            body_us: 0.1,
+            ordered_us: None,
+            nowait: false,
+        };
+        assert_eq!(valid(vec![zero_loop]), Err(RegionError::ZeroIterationLoop));
+        let zero_chunk = Construct::ParallelFor {
+            schedule: Schedule::Dynamic { chunk: 0 },
+            total_iters: 4,
+            body_us: 0.1,
+            ordered_us: None,
+            nowait: false,
+        };
+        assert_eq!(valid(vec![zero_chunk]), Err(RegionError::ZeroChunk));
+        assert_eq!(
+            valid(vec![Construct::DelayUs(f64::NAN)]),
+            Err(RegionError::InvalidWork { construct: "DelayUs" })
+        );
+        assert_eq!(
+            valid(vec![Construct::Critical { body_us: -1.0 }]),
+            Err(RegionError::InvalidWork { construct: "Critical" })
+        );
+    }
+
+    #[test]
+    fn validate_requires_balanced_marks_per_block() {
+        assert_eq!(
+            valid(vec![Construct::MarkBegin(3)]),
+            Err(RegionError::UnmatchedMark { id: 3 })
+        );
+        assert_eq!(
+            valid(vec![Construct::MarkEnd(1)]),
+            Err(RegionError::UnmatchedMark { id: 1 })
+        );
+        assert_eq!(
+            valid(vec![
+                Construct::MarkBegin(0),
+                Construct::MarkBegin(0),
+                Construct::MarkEnd(0),
+                Construct::MarkEnd(0),
+            ]),
+            Err(RegionError::UnmatchedMark { id: 0 })
+        );
+        // A begin whose end lives in a nested block does not balance.
+        assert_eq!(
+            valid(vec![
+                Construct::MarkBegin(0),
+                Construct::Repeat {
+                    count: 1,
+                    body: vec![Construct::MarkEnd(0)],
+                },
+            ]),
+            Err(RegionError::UnmatchedMark { id: 0 })
+        );
+        // Overlapping (non-LIFO) pairs of distinct ids are fine.
+        assert_eq!(
+            valid(vec![
+                Construct::MarkBegin(0),
+                Construct::MarkBegin(1),
+                Construct::MarkEnd(0),
+                Construct::MarkEnd(1),
+            ]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unsynchronized_repeated_nowait_loops() {
+        let nowait_loop = Construct::ParallelFor {
+            schedule: Schedule::Dynamic { chunk: 1 },
+            total_iters: 8,
+            body_us: 0.1,
+            ordered_us: None,
+            nowait: true,
+        };
+        let bad = vec![Construct::Repeat {
+            count: 3,
+            body: vec![nowait_loop.clone()],
+        }];
+        assert_eq!(valid(bad), Err(RegionError::RepeatedNowaitLoop));
+        // Adding any full-team rendezvous to the repeated body fixes it.
+        let good = vec![Construct::Repeat {
+            count: 3,
+            body: vec![nowait_loop.clone(), Construct::Barrier],
+        }];
+        assert_eq!(valid(good), Ok(()));
+        // count == 1 never re-enters the loop, so it is fine as-is.
+        let once = vec![Construct::Repeat {
+            count: 1,
+            body: vec![nowait_loop],
+        }];
+        assert_eq!(valid(once), Ok(()));
+    }
+
+    #[test]
+    fn expected_effects_walk_the_tree() {
+        let fx = RegionSpec {
+            n_threads: 4,
+            constructs: vec![
+                Construct::Barrier,
+                Construct::Repeat {
+                    count: 3,
+                    body: vec![
+                        Construct::Critical { body_us: 0.1 },
+                        Construct::ParallelFor {
+                            schedule: Schedule::Guided { min_chunk: 1 },
+                            total_iters: 10,
+                            body_us: 0.1,
+                            ordered_us: Some(0.05),
+                            nowait: false,
+                        },
+                    ],
+                },
+                Construct::Tasks {
+                    per_spawner: 2,
+                    body_us: 0.1,
+                    master_only: true,
+                },
+            ],
+        }
+        .expected_effects();
+        assert_eq!(fx.lock_entries, 4 * 3);
+        assert_eq!(fx.loop_iters, 10 * 3);
+        assert_eq!(fx.loop_passes, 3);
+        assert_eq!(fx.ordered_entries, 10 * 3);
+        // Explicit + 3 loop-end + 2 task barriers, 4 arrivals each.
+        assert_eq!(fx.barrier_arrivals, 4 * (1 + 3 + 2));
+        assert_eq!(fx.tasks_spawned, 2);
+        assert_eq!(fx.tasks_executed, 2);
+        assert_eq!(fx.mutex_violations, 0);
     }
 }

@@ -15,6 +15,7 @@ use ompvar_sim::fault::FaultPlan;
 use ompvar_sim::params::SimParams;
 use ompvar_sim::sync::{LoopSchedule, LoopSpec};
 use ompvar_sim::task::{CorunClass, ObjId, Op, Program, TaskId};
+use ompvar_sim::trace::{ObjEffects, SemanticEffects, SimReport};
 use ompvar_sim::time::{Time, SEC, US};
 use ompvar_topology::{assign_places, MachineSpec, ProcBind};
 use std::collections::BTreeSet;
@@ -130,6 +131,7 @@ impl SimRuntime {
     /// (with per-task blocked-on diagnostics), the virtual-time budget
     /// in [`SimRuntime::time_limit`], or a malformed program.
     pub fn run(&self, region: &RegionSpec, seed: u64) -> Result<RegionResult, RtError> {
+        region.validate().map_err(RtError::InvalidRegion)?;
         let mut sim = Simulator::new(self.machine.clone(), self.params.clone(), seed);
         let span = self.span_factor(region);
         let mut lower = Lowerer {
@@ -145,6 +147,7 @@ impl SimRuntime {
         lower.combine_ns = self.params.sync.reduction_combine_ns;
         lower.allocate(&region.constructs);
         let marker_pairs = lower.marker_pairs.clone();
+        let allocs = lower.allocs.clone();
 
         let assignment = assign_places(
             &self.machine,
@@ -178,6 +181,7 @@ impl SimRuntime {
             freq_samples: report.freq_samples.clone(),
             counters: Some(report.counters),
             thread_stats: report.task_stats.iter().map(|&(_, s)| s).collect(),
+            effects: harvest_effects(&allocs, &report),
             ..Default::default()
         };
         for k in marker_pairs {
@@ -190,6 +194,84 @@ impl SimRuntime {
         }
         Ok(result)
     }
+}
+
+/// Fold the engine's per-object effect counters into a
+/// [`SemanticEffects`] summary, using the allocation sequence to recover
+/// which construct each object served (the same lock object means
+/// "critical section" under [`Alloc::Lock`] but "reduction combine" under
+/// [`Alloc::LockWithBarrier`]).
+fn harvest_effects(allocs: &[Alloc], report: &SimReport) -> SemanticEffects {
+    let mut fx = SemanticEffects::default();
+    let get = |id: ObjId| report.obj_effects[id.0 as usize];
+    let barrier = |fx: &mut SemanticEffects, id: ObjId| {
+        let ObjEffects::Barrier { arrivals } = get(id) else {
+            unreachable!("allocation table out of sync: {id:?} is not a barrier");
+        };
+        fx.barrier_arrivals += arrivals;
+    };
+    for a in allocs {
+        match *a {
+            Alloc::None => {}
+            Alloc::Barrier(b) => barrier(&mut fx, b),
+            Alloc::Lock(l) => {
+                let ObjEffects::Lock { entries } = get(l) else {
+                    unreachable!("allocation table out of sync: {l:?} is not a lock");
+                };
+                fx.lock_entries += entries;
+            }
+            Alloc::Atomic(a) => {
+                let ObjEffects::Atomic { ops } = get(a) else {
+                    unreachable!("allocation table out of sync: {a:?} is not an atomic");
+                };
+                fx.atomic_ops += ops;
+            }
+            Alloc::LoopWithBarrier(l, b) => {
+                let ObjEffects::Loop {
+                    iters,
+                    passes,
+                    ordered_done,
+                } = get(l)
+                else {
+                    unreachable!("allocation table out of sync: {l:?} is not a loop");
+                };
+                fx.loop_iters += iters;
+                fx.loop_passes += passes;
+                fx.ordered_entries += ordered_done;
+                if let Some(b) = b {
+                    barrier(&mut fx, b);
+                }
+            }
+            Alloc::SingleWithBarrier(s, b) => {
+                let ObjEffects::Single { entries, winners } = get(s) else {
+                    unreachable!("allocation table out of sync: {s:?} is not a single");
+                };
+                fx.single_entries += entries;
+                fx.single_winners += winners;
+                barrier(&mut fx, b);
+            }
+            Alloc::LockWithBarrier(l, b) => {
+                let ObjEffects::Lock { entries } = get(l) else {
+                    unreachable!("allocation table out of sync: {l:?} is not a lock");
+                };
+                fx.reduction_combines += entries;
+                barrier(&mut fx, b);
+            }
+            Alloc::RegionBarriers(entry, exit) => {
+                barrier(&mut fx, entry);
+                barrier(&mut fx, exit);
+            }
+            Alloc::PoolWithBarrier(p, b) => {
+                let ObjEffects::TaskPool { spawned, executed } = get(p) else {
+                    unreachable!("allocation table out of sync: {p:?} is not a pool");
+                };
+                fx.tasks_spawned += spawned;
+                fx.tasks_executed += executed;
+                barrier(&mut fx, b);
+            }
+        }
+    }
+    fx
 }
 
 /// Objects allocated for one construct instance, in traversal order.

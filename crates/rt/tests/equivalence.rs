@@ -1,0 +1,225 @@
+//! Cross-backend equivalence matrix: one test per `Construct` variant.
+//!
+//! Every test builds a small region exercising one construct, runs it on
+//! the simulated backend (modeled Vera node, sterile parameters) and the
+//! native thread backend, and asserts that both report exactly the
+//! semantic effects predicted by `RegionSpec::expected_effects` — and
+//! that both produce the same measured-interval shape. Timing differs
+//! between a model and real threads by design; the semantic effects must
+//! not.
+
+use ompvar_rt::region::{Construct, RegionSpec, Schedule};
+use ompvar_rt::{NativeRuntime, RtConfig, SimRuntime};
+use ompvar_sim::params::SimParams;
+use ompvar_sim::time::SEC;
+use ompvar_topology::{MachineSpec, Places};
+use std::time::Duration;
+
+const SEED: u64 = 9;
+
+/// Run `region` on both backends and hold each to the predicted
+/// semantic effects; also compare interval shapes across backends.
+fn assert_equivalent(region: &RegionSpec) {
+    let want = region.expected_effects();
+    let sim = SimRuntime::new(
+        MachineSpec::vera(),
+        RtConfig::pinned_close(Places::Threads(Some(region.n_threads))),
+    )
+    .with_params(SimParams::sterile())
+    .with_time_limit(300 * SEC);
+    let s = sim.run(region, SEED).expect("sim backend completes");
+    assert_eq!(s.effects, want, "sim effects diverge from prediction");
+
+    let native = NativeRuntime::new(RtConfig::unbound()).with_deadline(Some(Duration::from_secs(30)));
+    let n = native.run(region).expect("native backend completes");
+    assert_eq!(n.effects, want, "native effects diverge from prediction");
+    assert_eq!(n.effects.mutex_violations, 0);
+    assert_eq!(n.effects.ordered_violations, 0);
+
+    let shape = |r: &ompvar_rt::RegionResult| -> Vec<(u32, usize)> {
+        r.intervals_us.iter().map(|(k, v)| (*k, v.len())).collect()
+    };
+    assert_eq!(shape(&s), shape(&n), "interval shapes differ across backends");
+}
+
+fn region(constructs: Vec<Construct>) -> RegionSpec {
+    RegionSpec::new(2, constructs).expect("test region is valid")
+}
+
+fn pfor(schedule: Schedule, ordered: bool, nowait: bool) -> Construct {
+    Construct::ParallelFor {
+        schedule,
+        total_iters: 12,
+        body_us: 0.2,
+        ordered_us: ordered.then_some(0.1),
+        nowait,
+    }
+}
+
+#[test]
+fn delay() {
+    assert_equivalent(&region(vec![Construct::DelayUs(1.5)]));
+}
+
+#[test]
+fn compute() {
+    assert_equivalent(&region(vec![Construct::Compute {
+        cycles: 3000.0,
+        class: ompvar_sim::task::CorunClass::Latency,
+    }]));
+}
+
+#[test]
+fn stream_bytes() {
+    assert_equivalent(&region(vec![Construct::StreamBytes(4096.0)]));
+}
+
+#[test]
+fn parallel_for_static() {
+    assert_equivalent(&region(vec![pfor(Schedule::Static { chunk: 1 }, false, false)]));
+}
+
+#[test]
+fn parallel_for_static_chunked() {
+    assert_equivalent(&region(vec![pfor(Schedule::Static { chunk: 5 }, false, false)]));
+}
+
+#[test]
+fn parallel_for_dynamic() {
+    assert_equivalent(&region(vec![pfor(Schedule::Dynamic { chunk: 2 }, false, false)]));
+}
+
+#[test]
+fn parallel_for_guided() {
+    assert_equivalent(&region(vec![pfor(Schedule::Guided { min_chunk: 1 }, false, false)]));
+}
+
+#[test]
+fn parallel_for_ordered() {
+    assert_equivalent(&region(vec![pfor(Schedule::Dynamic { chunk: 1 }, true, false)]));
+}
+
+#[test]
+fn parallel_for_nowait() {
+    // A trailing barrier keeps the region's end rendezvous explicit.
+    assert_equivalent(&region(vec![
+        pfor(Schedule::Dynamic { chunk: 2 }, false, true),
+        Construct::Barrier,
+    ]));
+}
+
+#[test]
+fn back_to_back_loops() {
+    // Two distinct workshares in one region: regression shape for the
+    // loop-cursor aliasing bug found by fuzzing (qcheck seed 46).
+    assert_equivalent(&region(vec![
+        pfor(Schedule::Static { chunk: 3 }, false, false),
+        pfor(Schedule::Static { chunk: 1 }, false, false),
+    ]));
+}
+
+#[test]
+fn barrier() {
+    assert_equivalent(&region(vec![Construct::Barrier, Construct::Barrier]));
+}
+
+#[test]
+fn critical() {
+    assert_equivalent(&region(vec![Construct::Critical { body_us: 0.3 }]));
+}
+
+#[test]
+fn lock_unlock() {
+    assert_equivalent(&region(vec![Construct::LockUnlock { body_us: 0.3 }]));
+}
+
+#[test]
+fn atomic() {
+    assert_equivalent(&region(vec![Construct::Atomic, Construct::Atomic]));
+}
+
+#[test]
+fn single() {
+    assert_equivalent(&region(vec![Construct::Single { body_us: 0.3 }]));
+}
+
+#[test]
+fn reduction() {
+    assert_equivalent(&region(vec![Construct::Reduction { body_us: 0.3 }]));
+}
+
+#[test]
+fn tasks_all_spawn() {
+    assert_equivalent(&region(vec![Construct::Tasks {
+        per_spawner: 3,
+        body_us: 0.2,
+        master_only: false,
+    }]));
+}
+
+#[test]
+fn tasks_master_only() {
+    assert_equivalent(&region(vec![Construct::Tasks {
+        per_spawner: 3,
+        body_us: 0.2,
+        master_only: true,
+    }]));
+}
+
+#[test]
+fn parallel_region_nested() {
+    assert_equivalent(&region(vec![Construct::ParallelRegion {
+        body: vec![Construct::Critical { body_us: 0.2 }, Construct::Barrier],
+    }]));
+}
+
+#[test]
+fn marks() {
+    assert_equivalent(&region(vec![
+        Construct::MarkBegin(3),
+        Construct::DelayUs(1.0),
+        Construct::MarkEnd(3),
+    ]));
+}
+
+#[test]
+fn repeat() {
+    assert_equivalent(&region(vec![Construct::Repeat {
+        count: 3,
+        body: vec![
+            pfor(Schedule::Dynamic { chunk: 2 }, false, false),
+            Construct::Single { body_us: 0.2 },
+        ],
+    }]));
+}
+
+#[test]
+fn repeat_with_marks_and_reduction() {
+    assert_equivalent(&region(vec![Construct::Repeat {
+        count: 2,
+        body: vec![
+            Construct::MarkBegin(1),
+            Construct::Reduction { body_us: 0.2 },
+            Construct::MarkEnd(1),
+        ],
+    }]));
+}
+
+#[test]
+fn mixed_kitchen_sink() {
+    assert_equivalent(&region(vec![
+        Construct::Barrier,
+        pfor(Schedule::Guided { min_chunk: 2 }, false, false),
+        Construct::Critical { body_us: 0.1 },
+        Construct::Single { body_us: 0.1 },
+        Construct::Tasks {
+            per_spawner: 2,
+            body_us: 0.1,
+            master_only: false,
+        },
+        Construct::Repeat {
+            count: 2,
+            body: vec![Construct::Atomic, Construct::Reduction { body_us: 0.1 }],
+        },
+    ]));
+}

@@ -30,7 +30,7 @@ use crate::task::{
     CorunClass, MicroOp, ObjId, Op, Program, Task, TaskId, TaskKind, TaskState, Timed, WaitKind,
 };
 use crate::time::{from_ns_f64, Time};
-use crate::trace::{Counters, FreqSample, MarkerRecord, SimReport};
+use crate::trace::{Counters, FreqSample, MarkerRecord, ObjEffects, SimReport};
 use ompvar_topology::{HwThreadId, MachineSpec, Place};
 use std::collections::VecDeque;
 
@@ -760,6 +760,7 @@ impl Simulator {
                             * a.active as f64
                             * a.span_factor;
                     a.active += 1;
+                    a.ops += 1;
                     self.tasks[ti]
                         .micro
                         .push_front(MicroOp::Timed(Timed::AtomicNs { rem: cost, obj }));
@@ -956,6 +957,13 @@ impl Simulator {
                     self.tasks[ti].micro.push_back(MicroOp::AtomicStart(obj));
                 }
                 Op::ForLoop { obj } => {
+                    // Re-arm the task-private loop cursor: it is shared
+                    // across loop objects, and two distinct loops whose
+                    // generation counters coincide would otherwise alias —
+                    // the second loop would see a stale exhausted cursor
+                    // and hand this task no work at all.
+                    self.tasks[ti].loop_gen = u64::MAX;
+                    self.tasks[ti].loop_pos = 0;
                     self.tasks[ti].micro.push_back(MicroOp::GrabChunk(obj));
                 }
                 Op::Single { obj, body_cycles } => {
@@ -2012,6 +2020,7 @@ impl Simulator {
                 .iter()
                 .map(|&t| (t, self.tasks[t.0 as usize].stats))
                 .collect(),
+            obj_effects: self.objs.iter().map(obj_effects).collect(),
         }
     }
 
@@ -2084,5 +2093,29 @@ impl Simulator {
                 Some(BlockedTask { task: tid, wait })
             })
             .collect()
+    }
+}
+
+/// Snapshot one sync object's effect counters for the report.
+fn obj_effects(o: &SyncObj) -> ObjEffects {
+    match o {
+        SyncObj::Barrier(b) => ObjEffects::Barrier {
+            arrivals: b.arrivals,
+        },
+        SyncObj::Lock(l) => ObjEffects::Lock { entries: l.entries },
+        SyncObj::Loop(l) => ObjEffects::Loop {
+            iters: l.iters_executed,
+            passes: l.passes,
+            ordered_done: l.ordered_done,
+        },
+        SyncObj::Atomic(a) => ObjEffects::Atomic { ops: a.ops },
+        SyncObj::Single(s) => ObjEffects::Single {
+            entries: s.count,
+            winners: s.wins,
+        },
+        SyncObj::TaskPool(p) => ObjEffects::TaskPool {
+            spawned: p.spawned,
+            executed: p.executed,
+        },
     }
 }

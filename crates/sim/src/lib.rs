@@ -69,5 +69,7 @@ pub mod prelude {
     pub use crate::sync::{Grab, LoopSchedule, LoopSpec};
     pub use crate::task::{CorunClass, ObjId, Op, Program, TaskId};
     pub use crate::time::{Time, MS, SEC, US};
-    pub use crate::trace::{Counters, FreqSample, MarkerRecord, SimReport};
+    pub use crate::trace::{
+        Counters, FreqSample, MarkerRecord, ObjEffects, SemanticEffects, SimReport,
+    };
 }

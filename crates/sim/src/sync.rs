@@ -106,6 +106,12 @@ pub struct LoopObj {
     pub ordered_next: u64,
     /// Tasks spinning for their ordered ticket, keyed by iteration.
     pub ordered_waiters: Vec<(u64, TaskId)>,
+    /// Effect counter: total iterations handed out across all generations.
+    pub iters_executed: u64,
+    /// Effect counter: completed passes (generation resets).
+    pub passes: u64,
+    /// Effect counter: completed ordered sections across all generations.
+    pub ordered_done: u64,
 }
 
 impl LoopObj {
@@ -128,6 +134,9 @@ impl LoopObj {
             finished: 0,
             ordered_next: 0,
             ordered_waiters: Vec::new(),
+            iters_executed: 0,
+            passes: 0,
+            ordered_done: 0,
         }
     }
 
@@ -144,6 +153,14 @@ impl LoopObj {
     /// Returns `None` when the loop is exhausted for this thread; the
     /// caller must then invoke [`LoopObj::observe_exhausted`] exactly once.
     pub fn grab(&mut self, rank: usize, task_gen: &mut u64, task_pos: &mut u64) -> Option<Grab> {
+        let g = self.grab_inner(rank, task_gen, task_pos);
+        if let Some(g) = g {
+            self.iters_executed += g.iters;
+        }
+        g
+    }
+
+    fn grab_inner(&mut self, rank: usize, task_gen: &mut u64, task_pos: &mut u64) -> Option<Grab> {
         if *task_gen != self.generation {
             *task_gen = self.generation;
             *task_pos = 0;
@@ -236,6 +253,7 @@ impl LoopObj {
         self.finished += 1;
         debug_assert!(self.finished <= self.spec.n_threads);
         if self.finished == self.spec.n_threads {
+            self.passes += 1;
             self.generation += 1;
             self.next_iter = 0;
             self.entered = 0;
@@ -257,6 +275,7 @@ impl LoopObj {
     /// Advances the ticket and pops the waiter for the next iteration, if
     /// it is already spinning.
     pub fn ticket_advance(&mut self) -> Option<TaskId> {
+        self.ordered_done += 1;
         self.ordered_next += 1;
         let next = self.ordered_next;
         if let Some(pos) = self.ordered_waiters.iter().position(|&(i, _)| i == next) {
@@ -280,6 +299,8 @@ pub struct BarrierObj {
     pub last_cpu: usize,
     /// Topology contention multiplier (≥ 1.0).
     pub span_factor: f64,
+    /// Effect counter: total per-thread arrivals across all rounds.
+    pub arrivals: u64,
 }
 
 impl BarrierObj {
@@ -292,12 +313,14 @@ impl BarrierObj {
             waiters: Vec::with_capacity(n),
             last_cpu: 0,
             span_factor,
+            arrivals: 0,
         }
     }
 
     /// Register an arrival. Returns `true` when this arrival completes the
     /// round (the caller then drains `waiters` and resets).
     pub fn arrive(&mut self, cpu: usize) -> bool {
+        self.arrivals += 1;
         self.arrived += 1;
         self.last_cpu = cpu;
         debug_assert!(self.arrived <= self.n);
@@ -321,6 +344,8 @@ pub struct LockObj {
     pub queue: VecDeque<TaskId>,
     /// Topology contention multiplier (≥ 1.0).
     pub span_factor: f64,
+    /// Effect counter: times the lock was entered (ownership installed).
+    pub entries: u64,
 }
 
 impl LockObj {
@@ -330,6 +355,7 @@ impl LockObj {
             holder: None,
             queue: VecDeque::new(),
             span_factor,
+            entries: 0,
         }
     }
 
@@ -337,6 +363,7 @@ impl LockObj {
     pub fn acquire(&mut self, t: TaskId) -> bool {
         if self.holder.is_none() {
             self.holder = Some(t);
+            self.entries += 1;
             true
         } else {
             self.queue.push_back(t);
@@ -348,6 +375,9 @@ impl LockObj {
     pub fn release(&mut self, t: TaskId) -> Option<TaskId> {
         assert_eq!(self.holder, Some(t), "release by non-holder");
         self.holder = self.queue.pop_front();
+        if self.holder.is_some() {
+            self.entries += 1;
+        }
         self.holder
     }
 }
@@ -360,6 +390,8 @@ pub struct AtomicObj {
     pub active: usize,
     /// Topology contention multiplier (≥ 1.0).
     pub span_factor: f64,
+    /// Effect counter: total RMW operations started.
+    pub ops: u64,
 }
 
 impl AtomicObj {
@@ -368,6 +400,7 @@ impl AtomicObj {
         AtomicObj {
             active: 0,
             span_factor,
+            ops: 0,
         }
     }
 }
@@ -381,19 +414,24 @@ pub struct SingleObj {
     /// long as rounds are separated by a barrier (which the OpenMP
     /// `single` construct's implicit barrier guarantees).
     pub count: u64,
+    /// Effect counter: rounds won (bodies actually executed).
+    pub wins: u64,
 }
 
 impl SingleObj {
     /// New `single` tracker for a team of `n`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
-        SingleObj { n, count: 0 }
+        SingleObj { n, count: 0, wins: 0 }
     }
 
     /// Register an entry; returns `true` for the round's winner.
     pub fn enter(&mut self) -> bool {
         let win = self.count.is_multiple_of(self.n as u64);
         self.count += 1;
+        if win {
+            self.wins += 1;
+        }
         win
     }
 }
@@ -419,6 +457,10 @@ pub struct TaskPoolObj {
     /// proxy: 1 for a master-only producer, the team size for
     /// all-threads-spawn patterns).
     pub spawners: usize,
+    /// Effect counter: total tasks ever spawned into the pool.
+    pub spawned: u64,
+    /// Effect counter: total tasks that ran to completion.
+    pub executed: u64,
 }
 
 impl TaskPoolObj {
@@ -433,6 +475,8 @@ impl TaskPoolObj {
             span_factor,
             participants,
             spawners,
+            spawned: 0,
+            executed: 0,
         }
     }
 
@@ -440,6 +484,7 @@ impl TaskPoolObj {
     pub fn spawn(&mut self, cycles: f64) {
         self.pending.push_back(cycles);
         self.outstanding += 1;
+        self.spawned += 1;
     }
 
     /// Grab the next queued task body, if any.
@@ -452,6 +497,7 @@ impl TaskPoolObj {
     pub fn complete(&mut self) -> Vec<TaskId> {
         debug_assert!(self.outstanding > 0);
         self.outstanding -= 1;
+        self.executed += 1;
         if self.outstanding == 0 {
             std::mem::take(&mut self.waiters)
         } else {

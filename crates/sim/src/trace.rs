@@ -48,6 +48,90 @@ pub struct Counters {
     pub lost_wakeups: u64,
 }
 
+/// Schedule-independent semantic effects of one region run.
+///
+/// Every field is a deterministic function of the executed region — not
+/// of thread interleaving, schedule kind, or timing — so two correct
+/// backends executing the same region must agree on all of them exactly.
+/// The differential fuzzer (`ompvar-qcheck`) compares these against each
+/// other and against the statically predicted effects of the construct
+/// tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SemanticEffects {
+    /// Per-thread barrier arrivals (team size × completed rounds).
+    pub barrier_arrivals: u64,
+    /// Critical/lock section entries (mutual-exclusion oracle).
+    pub lock_entries: u64,
+    /// Reduction combine operations (one per thread per reduction).
+    pub reduction_combines: u64,
+    /// Atomic RMW operations.
+    pub atomic_ops: u64,
+    /// Work-shared loop iterations executed, summed over all loops.
+    pub loop_iters: u64,
+    /// Completed work-shared loop passes (generations).
+    pub loop_passes: u64,
+    /// Ordered-section entries completed in ticket order.
+    pub ordered_entries: u64,
+    /// `single` construct entries (every thread reaching the construct).
+    pub single_entries: u64,
+    /// `single` bodies executed — exactly one per round.
+    pub single_winners: u64,
+    /// Explicit tasks spawned.
+    pub tasks_spawned: u64,
+    /// Explicit tasks executed to completion.
+    pub tasks_executed: u64,
+    /// Observed mutual-exclusion violations (must be zero).
+    pub mutex_violations: u64,
+    /// Observed ordered-sequence violations (must be zero).
+    pub ordered_violations: u64,
+}
+
+/// Per-sync-object effect counters surfaced by the engine, indexed by
+/// [`crate::task::ObjId`] in allocation order. The runtime layer, which
+/// knows which construct each object belongs to, folds these into a
+/// [`SemanticEffects`] summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjEffects {
+    /// Barrier: total per-thread arrivals.
+    Barrier {
+        /// Arrivals across all rounds.
+        arrivals: u64,
+    },
+    /// Lock: total entries.
+    Lock {
+        /// Times the lock was entered.
+        entries: u64,
+    },
+    /// Work-shared loop.
+    Loop {
+        /// Iterations handed out across all generations.
+        iters: u64,
+        /// Completed passes (generation resets).
+        passes: u64,
+        /// Completed ordered sections.
+        ordered_done: u64,
+    },
+    /// Contended atomic: total RMW operations.
+    Atomic {
+        /// RMW operations started.
+        ops: u64,
+    },
+    /// `single` tracker.
+    Single {
+        /// Entries (every thread reaching the construct).
+        entries: u64,
+        /// Rounds won (bodies executed).
+        winners: u64,
+    },
+    /// Explicit-task pool.
+    TaskPool {
+        /// Tasks spawned into the pool.
+        spawned: u64,
+        /// Tasks executed to completion.
+        executed: u64,
+    },
+}
+
 /// Everything the simulator reports after a run.
 #[derive(Debug, Clone, Default)]
 pub struct SimReport {
@@ -65,6 +149,9 @@ pub struct SimReport {
     pub counters: Counters,
     /// Per-user-task statistics, indexed by spawn order.
     pub task_stats: Vec<(TaskId, TaskStats)>,
+    /// Per-sync-object effect counters, indexed by object id in
+    /// allocation order (see [`ObjEffects`]).
+    pub obj_effects: Vec<ObjEffects>,
 }
 
 impl SimReport {

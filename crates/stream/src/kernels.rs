@@ -127,6 +127,7 @@ pub fn region(cfg: &StreamConfig, n_threads: usize) -> RegionSpec {
             body,
         }],
     )
+    .expect("BabelStream region is structurally valid")
 }
 
 #[cfg(test)]

@@ -4,8 +4,10 @@
 //! The [`proptest!`] macro runs each property over a fixed sweep of
 //! deterministically seeded cases (no shrinking). The per-case RNG is
 //! derived only from the test name and the case index, so failures are
-//! reproducible run-to-run and machine-to-machine; a failing case
-//! panics with its case number and the property's message.
+//! reproducible run-to-run and machine-to-machine. The whole sweep runs
+//! even after a failure; the panic then reports how many cases failed
+//! and re-derives the *lowest-index* failing case's drawn values — the
+//! closest thing to a minimal counterexample a fixed sweep can offer.
 //!
 //! Supported strategy surface: integer/float range strategies
 //! (`lo..hi`, `lo..=hi`), tuples of strategies up to arity 6,
@@ -118,7 +120,9 @@ macro_rules! prop_assert_eq {
 
 /// Declare property tests. Each `fn name(arg in strategy, ...) { .. }`
 /// becomes a `#[test]` running the body over a deterministic sweep of
-/// generated cases.
+/// generated cases. All cases run even after a failure; the panic
+/// message reports the failure count and the lowest-index failing case
+/// together with its re-derived drawn values.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
@@ -126,6 +130,8 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 const CASES: u64 = 64;
+                let mut failures: ::std::vec::Vec<(u64, $crate::test_runner::TestCaseError)> =
+                    ::std::vec::Vec::new();
                 for case in 0..CASES {
                     let mut rng =
                         $crate::test_runner::TestRng::for_case(stringify!($name), case);
@@ -138,14 +144,33 @@ macro_rules! proptest {
                             ::core::result::Result::Ok(())
                         })();
                     if let ::core::result::Result::Err(e) = outcome {
-                        panic!(
-                            "property {} failed at case {}/{}: {}",
-                            stringify!($name),
-                            case,
-                            CASES,
-                            e
-                        );
+                        failures.push((case, e));
                     }
+                }
+                if let ::core::option::Option::Some((case, err)) = failures.first() {
+                    // Re-derive the drawn values of the lowest-index
+                    // failing case from its per-case RNG so the report
+                    // shows the concrete counterexample.
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), *case);
+                    let mut drawn = ::std::string::String::new();
+                    $(
+                        let v = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        drawn.push_str(&::std::format!(
+                            "  {} = {:?}\n",
+                            stringify!($arg),
+                            v
+                        ));
+                    )*
+                    panic!(
+                        "property {} failed at {} of {} cases; minimal failing case {}:\n{}  {}",
+                        stringify!($name),
+                        failures.len(),
+                        CASES,
+                        case,
+                        drawn,
+                        err
+                    );
                 }
             }
         )*
@@ -179,6 +204,33 @@ mod tests {
         fn any_is_exercised(x in any::<u64>()) {
             let _ = x;
         }
+    }
+
+    // Declared WITHOUT #[test]: invoked below under catch_unwind to
+    // inspect the failure report.
+    proptest! {
+        fn always_fails_for_reporting(x in 5u64..6, y in 0u32..100) {
+            let _ = y;
+            prop_assert!(x > 100, "x too small: {}", x);
+        }
+    }
+
+    /// A failing property reports the full sweep's failure count and
+    /// the lowest-index case with its re-derived drawn values.
+    #[test]
+    fn failure_report_names_minimal_case_and_values() {
+        let err = std::panic::catch_unwind(always_fails_for_reporting)
+            .expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string panic payload");
+        assert!(msg.contains("failed at 64 of 64 cases"), "{msg}");
+        assert!(msg.contains("minimal failing case 0"), "{msg}");
+        // x's range is a single value, so the re-derived draw is exact.
+        assert!(msg.contains("x = 5"), "{msg}");
+        assert!(msg.contains("y = "), "{msg}");
+        assert!(msg.contains("x too small: 5"), "{msg}");
     }
 
     #[test]
