@@ -2,6 +2,55 @@
 //! the quantities behind the paper's Figures 6 and 7 (frequency bands,
 //! transition counts, residency).
 
+use std::fmt;
+
+/// Why a sample list cannot form a [`FreqTrace`].
+///
+/// Real logger files (the paper's sysfs poller) can be malformed —
+/// clock steps backwards across a resync, truncated lines with missing
+/// cores — so construction reports a typed error instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqTraceError {
+    /// Sample `index` has a timestamp earlier than its predecessor.
+    UnorderedSamples {
+        /// Offending sample position.
+        index: usize,
+        /// Predecessor's timestamp (ns).
+        prev_ns: u64,
+        /// Offending timestamp (ns).
+        time_ns: u64,
+    },
+    /// Sample `index` covers a different number of cores than the first
+    /// sample.
+    InconsistentCoreCount {
+        /// Offending sample position.
+        index: usize,
+        /// Core count of the first sample.
+        expected: usize,
+        /// Core count of the offending sample.
+        found: usize,
+    },
+}
+
+impl fmt::Display for FreqTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FreqTraceError::UnorderedSamples { index, prev_ns, time_ns } => write!(
+                f,
+                "samples must be time-ordered: sample {index} at {time_ns} ns \
+                 precedes its predecessor at {prev_ns} ns"
+            ),
+            FreqTraceError::InconsistentCoreCount { index, expected, found } => write!(
+                f,
+                "inconsistent core count: sample {index} covers {found} core(s), \
+                 the first sample covers {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FreqTraceError {}
+
 /// A frequency trace: sample times (ns) and, per sample, the frequency of
 /// every core in GHz. Mirrors the simulator's logger output without
 /// depending on it.
@@ -14,20 +63,34 @@ pub struct FreqTrace {
 }
 
 impl FreqTrace {
-    /// Build from `(time, freqs)` pairs.
-    pub fn new(samples: Vec<(u64, Vec<f32>)>) -> FreqTrace {
+    /// Build from `(time, freqs)` pairs. Samples must be time-ordered
+    /// (ties allowed) and rectangular — every sample covering the same
+    /// cores as the first.
+    pub fn new(samples: Vec<(u64, Vec<f32>)>) -> Result<FreqTrace, FreqTraceError> {
         let mut t = FreqTrace::default();
-        for (time, f) in samples {
-            if let Some(prev) = t.times_ns.last() {
-                assert!(time >= *prev, "samples must be time-ordered");
+        for (index, (time, f)) in samples.into_iter().enumerate() {
+            if let Some(&prev) = t.times_ns.last() {
+                if time < prev {
+                    return Err(FreqTraceError::UnorderedSamples {
+                        index,
+                        prev_ns: prev,
+                        time_ns: time,
+                    });
+                }
             }
             if let Some(first) = t.core_ghz.first() {
-                assert_eq!(first.len(), f.len(), "inconsistent core count");
+                if first.len() != f.len() {
+                    return Err(FreqTraceError::InconsistentCoreCount {
+                        index,
+                        expected: first.len(),
+                        found: f.len(),
+                    });
+                }
             }
             t.times_ns.push(time);
             t.core_ghz.push(f);
         }
-        t
+        Ok(t)
     }
 
     /// Number of samples.
@@ -97,6 +160,7 @@ mod tests {
             (300, vec![3.5, 2.0]),
             (400, vec![3.5, 2.0]),
         ])
+        .expect("samples are ordered and rectangular")
     }
 
     #[test]
@@ -124,14 +188,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time-ordered")]
-    fn unordered_samples_rejected() {
-        FreqTrace::new(vec![(100, vec![1.0]), (50, vec![1.0])]);
+    fn unordered_samples_rejected_with_typed_error() {
+        let err = FreqTrace::new(vec![(100, vec![1.0]), (50, vec![1.0])]).unwrap_err();
+        assert_eq!(
+            err,
+            FreqTraceError::UnorderedSamples { index: 1, prev_ns: 100, time_ns: 50 }
+        );
+        assert!(err.to_string().contains("time-ordered"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "inconsistent core count")]
-    fn ragged_samples_rejected() {
-        FreqTrace::new(vec![(0, vec![1.0]), (1, vec![1.0, 2.0])]);
+    fn ragged_samples_rejected_with_typed_error() {
+        let err = FreqTrace::new(vec![(0, vec![1.0]), (1, vec![1.0, 2.0])]).unwrap_err();
+        assert_eq!(
+            err,
+            FreqTraceError::InconsistentCoreCount { index: 1, expected: 1, found: 2 }
+        );
+        assert!(err.to_string().contains("inconsistent core count"), "{err}");
+    }
+
+    #[test]
+    fn equal_timestamps_are_allowed() {
+        let t = FreqTrace::new(vec![(5, vec![1.0]), (5, vec![2.0])]).expect("ties are ordered");
+        assert_eq!(t.len(), 2);
     }
 }

@@ -16,7 +16,7 @@ pub mod report;
 pub mod stats;
 pub mod variability;
 
-pub use freqtrace::FreqTrace;
+pub use freqtrace::{FreqTrace, FreqTraceError};
 pub use report::{fmt_ratio, fmt_us, render_histogram, sparkline, Table};
 pub use stats::{
     autocorrelation, bimodality_coefficient, bootstrap_ci_mean, ks_test, mad, mad_outliers,

@@ -23,6 +23,21 @@ impl Table {
         }
     }
 
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Data rows, each the width of the header.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Append a row (must match the header width).
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
         assert_eq!(

@@ -1,32 +1,36 @@
 //! `ompvar-repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! ompvar-repro [--fast] [--seed N] [--out DIR] <table2|fig1|...|fig7|all>
+//! ompvar-repro [--fast] [--seed N] [--out DIR] [--trace FILE] \
+//!              [--report-json FILE] <table2|fig1|...|trace|all>
 //! ```
 //!
 //! Each experiment prints its paper-style table(s), runs the shape checks
 //! against the paper's qualitative findings, and writes CSVs under the
-//! output directory (default `results/`).
+//! output directory (default `results/`). `--trace` names the Chrome
+//! trace file written by the `trace` experiment; `--report-json` writes
+//! a machine-readable summary of every table and check in the run.
 //!
 //! Experiments are isolated: a panicking experiment is reported as a
 //! synthesized FAIL check, and the sweep continues through the remaining
 //! experiments (the exit code still reflects the failure).
 
 use ompvar_harness::{
-    ablation, chunks, faults_exp, fig1, fig2, fig3, fig4, fig5, fig67, fuzz_exp, table2,
-    taskbench_exp, Check, ExpOptions, ExpReport,
+    ablation, chunks, common, faults_exp, fig1, fig2, fig3, fig4, fig5, fig67, fuzz_exp, table2,
+    taskbench_exp, trace_exp, Check, ExpOptions, ExpReport,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "taskbench",
-    "chunks", "faults", "fuzz",
+    "chunks", "faults", "fuzz", "trace",
 ];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ompvar-repro [--fast] [--seed N] [--out DIR] [--fuzz-cases N] <{}|all>",
+        "usage: ompvar-repro [--fast] [--seed N] [--out DIR] [--fuzz-cases N] \
+         [--trace FILE] [--report-json FILE] <{}|all>",
         EXPERIMENTS.join("|")
     );
     std::process::exit(2);
@@ -47,6 +51,7 @@ fn run_one(name: &str, opts: &ExpOptions) -> ExpReport {
         "chunks" => chunks::run(opts),
         "faults" => faults_exp::run(opts),
         "fuzz" => fuzz_exp::run(opts),
+        "trace" => trace_exp::run(opts),
         // Names are validated before any experiment runs.
         other => unreachable!("unvalidated experiment name {other:?}"),
     }
@@ -95,6 +100,14 @@ fn main() -> ExitCode {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.fuzz_cases = Some(v.parse().unwrap_or_else(|_| usage()));
             }
+            "--trace" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.trace_path = Some(v.into());
+            }
+            "--report-json" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.report_json = Some(v.into());
+            }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag: {other}");
@@ -128,6 +141,7 @@ fn main() -> ExitCode {
         seen
     };
     let mut all_ok = true;
+    let mut reports = Vec::new();
     for name in names {
         let t0 = std::time::Instant::now();
         let report = run_isolated(name, &opts);
@@ -142,6 +156,20 @@ fn main() -> ExitCode {
         }
         println!("({name} took {:.1}s)\n", t0.elapsed().as_secs_f64());
         all_ok &= report.all_passed();
+        reports.push(report);
+    }
+    if let Some(path) = &opts.report_json {
+        let doc = common::run_report_json(opts.seed, opts.fast, &reports);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write JSON report {}: {e}", path.display());
+                all_ok = false;
+            }
+        }
     }
     if all_ok {
         ExitCode::SUCCESS

@@ -131,6 +131,12 @@ pub struct ExpOptions {
     /// Fuzz-case budget override for the `fuzz` experiment
     /// (`--fuzz-cases`); `None` uses the experiment's default.
     pub fuzz_cases: Option<u64>,
+    /// Chrome trace output path (`--trace`), honored by the `trace`
+    /// experiment; `None` defaults to `<out_dir>/trace.json`.
+    pub trace_path: Option<PathBuf>,
+    /// Machine-readable JSON run-report path (`--report-json`); `None`
+    /// writes no report.
+    pub report_json: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -140,6 +146,8 @@ impl Default for ExpOptions {
             seed: 20230714, // arbitrary fixed default: SC'23 submission era
             out_dir: PathBuf::from("results"),
             fuzz_cases: None,
+            trace_path: None,
+            report_json: None,
         }
     }
 }
@@ -252,6 +260,70 @@ impl ExpReport {
     }
 }
 
+/// Serialize a whole CLI run — every experiment's tables and shape
+/// checks — as a machine-readable JSON document (`--report-json`).
+///
+/// Hand-rolled like the Chrome exporter: stable field order, every
+/// string escaped via [`ompvar_obs::json::escape`], so the output is
+/// byte-reproducible for a given run and parses with
+/// [`ompvar_obs::json::parse`].
+pub fn run_report_json(seed: u64, fast: bool, reports: &[ExpReport]) -> String {
+    use ompvar_obs::json::escape;
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"ompvar-run-report/1\",");
+    out.push_str(&format!("\"seed\":{seed},\"fast\":{fast},"));
+    let all = reports.iter().all(ExpReport::all_passed);
+    out.push_str(&format!("\"all_passed\":{all},\"experiments\":["));
+    for (i, rep) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"passed\":{},\"checks\":[",
+            escape(&rep.name),
+            rep.all_passed()
+        ));
+        for (j, c) in rep.checks.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n {{\"name\":\"{}\",\"passed\":{},\"detail\":\"{}\"}}",
+                escape(&c.name),
+                c.passed,
+                escape(&c.detail)
+            ));
+        }
+        out.push_str("],\"tables\":[");
+        for (j, t) in rep.tables.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let cells = |row: &[String]| {
+                row.iter()
+                    .map(|c| format!("\"{}\"", escape(c)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!(
+                "\n {{\"title\":\"{}\",\"header\":[{}],\"rows\":[",
+                escape(t.title()),
+                cells(t.header())
+            ));
+            for (k, row) in t.rows().iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n  [{}]", cells(row)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +378,35 @@ mod tests {
         assert!(r.all_passed());
         r.checks.push(Check::new("y", false, "bad".into()));
         assert!(!r.all_passed());
+    }
+
+    #[test]
+    fn run_report_json_round_trips_hostile_strings() {
+        use ompvar_obs::json::{parse, Value};
+        let mut t = Table::new("T \"quoted\"", &["a", "b"]);
+        t.row(&["1".into(), "x\ny".into()]);
+        let rep = ExpReport {
+            name: "demo".into(),
+            tables: vec![t],
+            checks: vec![Check::new("c", true, "d \\ e".into())],
+        };
+        let reps = std::slice::from_ref(&rep);
+        let doc = run_report_json(7, true, reps);
+        assert_eq!(doc, run_report_json(7, true, reps), "not reproducible");
+        let v = parse(&doc).expect("valid JSON");
+        assert_eq!(v.get("seed").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("all_passed").and_then(Value::as_bool), Some(true));
+        let exps = v.get("experiments").and_then(Value::as_arr).unwrap();
+        assert_eq!(exps.len(), 1);
+        assert_eq!(exps[0].get("name").and_then(Value::as_str), Some("demo"));
+        let tables = exps[0].get("tables").and_then(Value::as_arr).unwrap();
+        assert_eq!(
+            tables[0].get("title").and_then(Value::as_str),
+            Some("T \"quoted\"")
+        );
+        let rows = tables[0].get("rows").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows[0].as_arr().unwrap()[1].as_str(), Some("x\ny"));
+        let checks = exps[0].get("checks").and_then(Value::as_arr).unwrap();
+        assert_eq!(checks[0].get("detail").and_then(Value::as_str), Some("d \\ e"));
     }
 }

@@ -146,6 +146,7 @@ fn to_trace(res: &RegionResult) -> FreqTrace {
             .map(|s| (s.time, s.core_ghz.clone()))
             .collect(),
     )
+    .expect("simulated logger emits ordered, rectangular samples")
 }
 
 /// Execute Figure 6 or 7 and report.

@@ -20,3 +20,4 @@ pub mod taskbench_exp;
 pub mod chunks;
 pub mod faults_exp;
 pub mod fuzz_exp;
+pub mod trace_exp;

@@ -1,5 +1,6 @@
 //! End-to-end tests of the `ompvar-repro` CLI binary.
 
+use ompvar_obs::json::{parse, Value};
 use std::process::Command;
 
 fn repro() -> Command {
@@ -122,6 +123,97 @@ fn same_seed_reproduces_identical_output() {
     };
     assert_eq!(run(), run());
     std::fs::remove_dir_all(std::env::temp_dir().join("ompvar_cli_det")).ok();
+}
+
+/// The trace experiment honors `--trace`, writes Perfetto-loadable
+/// Chrome traces for both backends, and `--report-json` captures the
+/// whole run — tables and checks — as parseable JSON.
+#[test]
+fn trace_writes_chrome_traces_and_json_report() {
+    let out_dir = std::env::temp_dir().join("ompvar_cli_trace_test");
+    let trace = out_dir.join("out.json");
+    let report = out_dir.join("report.json");
+    let out = repro()
+        .args(["--fast", "--seed", "7", "--out"])
+        .arg(&out_dir)
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--report-json")
+        .arg(&report)
+        .arg("trace")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {stdout}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!stdout.contains("[FAIL]"), "{stdout}");
+    // Both Chrome traces are valid JSON with begin/end span events; the
+    // simulated one also carries the per-core frequency counter track.
+    for (path, want_counters) in [(&trace, true), (&out_dir.join("out.native.json"), false)] {
+        let doc = std::fs::read_to_string(path).expect("trace written");
+        let v = parse(&doc).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let events = v.get("traceEvents").and_then(Value::as_arr).expect("array");
+        let count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph))
+                .count()
+        };
+        assert!(count("B") > 0 && count("B") == count("E"), "{}", path.display());
+        assert_eq!(count("C") > 0, want_counters, "{}", path.display());
+    }
+    // The run report round-trips: experiment name, pass/fail, and the
+    // per-construct percentile tables are all present.
+    let doc = std::fs::read_to_string(&report).expect("report written");
+    let v = parse(&doc).expect("report parses");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("ompvar-run-report/1")
+    );
+    assert_eq!(v.get("seed").and_then(Value::as_f64), Some(7.0));
+    assert_eq!(v.get("all_passed").and_then(Value::as_bool), Some(true));
+    let exps = v.get("experiments").and_then(Value::as_arr).expect("array");
+    assert_eq!(exps.len(), 1);
+    assert_eq!(exps[0].get("name").and_then(Value::as_str), Some("trace"));
+    let tables = exps[0].get("tables").and_then(Value::as_arr).expect("tables");
+    assert_eq!(tables.len(), 2, "sim + native percentile tables");
+    for t in tables {
+        let header: Vec<&str> = t
+            .get("header")
+            .and_then(Value::as_arr)
+            .expect("header")
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
+        assert_eq!(header, ["construct", "count", "p50", "p95", "p99", "max"]);
+        assert!(!t.get("rows").and_then(Value::as_arr).expect("rows").is_empty());
+    }
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+/// `--report-json` works for any experiment, not just `trace`.
+#[test]
+fn report_json_captures_non_trace_experiments() {
+    let out_dir = std::env::temp_dir().join("ompvar_cli_report_test");
+    let report = out_dir.join("r.json");
+    let out = repro()
+        .args(["--fast", "--out"])
+        .arg(&out_dir)
+        .arg("--report-json")
+        .arg(&report)
+        .arg("fig2")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let v = parse(&std::fs::read_to_string(&report).expect("report written"))
+        .expect("report parses");
+    let exps = v.get("experiments").and_then(Value::as_arr).expect("array");
+    assert_eq!(exps[0].get("name").and_then(Value::as_str), Some("fig2"));
+    assert!(!exps[0].get("checks").and_then(Value::as_arr).unwrap().is_empty());
+    std::fs::remove_dir_all(&out_dir).ok();
 }
 
 /// The fuzz experiment honors `--fuzz-cases` and passes on a small

@@ -1,0 +1,238 @@
+//! The typed trace-event vocabulary shared by both backends.
+
+/// Construct categories that produce spans (begin/end pairs).
+///
+/// The discriminant doubles as a dense index (see [`SpanKind::index`]),
+/// so per-kind tables can be plain arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One thread's participation in the parallel region, birth to join.
+    Region,
+    /// One thread's pass over a work-shared loop (first grab attempt to
+    /// observing exhaustion).
+    Workshare,
+    /// One dispatched chunk of a work-shared loop (dispatch + body).
+    Chunk,
+    /// Barrier episode: arrival to release (the wait is inside the span).
+    Barrier,
+    /// `single` construct: arrival to body completion (losers get a
+    /// zero-ish span covering just the arbitration).
+    Single,
+    /// Critical/lock section: acquisition attempt to release (the
+    /// acquire wait is inside the span).
+    Critical,
+    /// `ordered` section: ticket wait to ticket handoff.
+    Ordered,
+    /// One explicit task's execution (steal to completion).
+    Task,
+}
+
+impl SpanKind {
+    /// Every kind, in display order.
+    pub const ALL: [SpanKind; 8] = [
+        SpanKind::Region,
+        SpanKind::Workshare,
+        SpanKind::Chunk,
+        SpanKind::Barrier,
+        SpanKind::Single,
+        SpanKind::Critical,
+        SpanKind::Ordered,
+        SpanKind::Task,
+    ];
+
+    /// Stable lower-case name; also the Chrome trace-event name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanKind::Region => "region",
+            SpanKind::Workshare => "workshare",
+            SpanKind::Chunk => "chunk",
+            SpanKind::Barrier => "barrier",
+            SpanKind::Single => "single",
+            SpanKind::Critical => "critical",
+            SpanKind::Ordered => "ordered",
+            SpanKind::Task => "task",
+        }
+    }
+
+    /// Dense index into per-kind arrays (`0..SpanKind::ALL.len()`).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Point events: things that happen *to* a run rather than *in* it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstantKind {
+    /// A kernel-noise arrival preempted a user thread.
+    NoisePreemption,
+    /// A fault-plan injection fired.
+    FaultInjection,
+    /// The DVFS governor retargeted a socket frequency.
+    FreqRetarget,
+}
+
+impl InstantKind {
+    /// Every kind, in display order.
+    pub const ALL: [InstantKind; 3] = [
+        InstantKind::NoisePreemption,
+        InstantKind::FaultInjection,
+        InstantKind::FreqRetarget,
+    ];
+
+    /// Stable lower-case name; also the Chrome trace-event name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            InstantKind::NoisePreemption => "noise_preemption",
+            InstantKind::FaultInjection => "fault_injection",
+            InstantKind::FreqRetarget => "freq_retarget",
+        }
+    }
+}
+
+/// What one [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A span of this kind opens on the event's thread.
+    Begin(SpanKind),
+    /// The innermost open span of this kind closes on the event's thread.
+    End(SpanKind),
+    /// A point event.
+    Instant(InstantKind),
+}
+
+/// Sentinel core id: the event is not attributed to a specific core.
+pub const CORE_UNKNOWN: u32 = u32::MAX;
+
+/// Sentinel thread id: engine-global events (fault injections, socket
+/// frequency retargets) that belong to no team thread.
+pub const THREAD_GLOBAL: u32 = u32::MAX;
+
+/// One trace event. Timestamps are nanoseconds on the backend's own
+/// clock: virtual time (sim) or monotonic time since region start
+/// (native).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event time in nanoseconds.
+    pub time_ns: u64,
+    /// Team thread rank, or [`THREAD_GLOBAL`].
+    pub thread: u32,
+    /// Hardware-thread id the event occurred on, or [`CORE_UNKNOWN`].
+    pub core: u32,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// A completed begin/end pair recovered from a trace
+/// (see [`crate::wellformed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Construct category.
+    pub kind: SpanKind,
+    /// Owning thread rank.
+    pub thread: u32,
+    /// Begin timestamp (ns).
+    pub begin_ns: u64,
+    /// End timestamp (ns).
+    pub end_ns: u64,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.begin_ns
+    }
+}
+
+/// An ordered collection of trace events. Events of one thread appear in
+/// that thread's emission order; different threads' events may be
+/// grouped in per-thread blocks (native backend) or globally interleaved
+/// by time (simulated backend) — consumers only rely on per-thread
+/// order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Wrap an event list.
+    pub fn new(events: Vec<TraceEvent>) -> Trace {
+        Trace { events }
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of span-begin events (the "span count" of a trace).
+    pub fn span_begins(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Begin(_)))
+            .count()
+    }
+
+    /// Number of begins of one span kind.
+    pub fn count_of(&self, kind: SpanKind) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Begin(kind))
+            .count()
+    }
+
+    /// Number of instants of one kind.
+    pub fn instants_of(&self, kind: InstantKind) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Instant(kind))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_dense_and_named() {
+        for (i, k) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.name().is_empty());
+        }
+        for k in InstantKind::ALL {
+            assert!(!k.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_counts() {
+        let t = Trace::new(vec![
+            TraceEvent { time_ns: 0, thread: 0, core: 0, kind: EventKind::Begin(SpanKind::Barrier) },
+            TraceEvent { time_ns: 5, thread: 0, core: 0, kind: EventKind::End(SpanKind::Barrier) },
+            TraceEvent {
+                time_ns: 3,
+                thread: THREAD_GLOBAL,
+                core: CORE_UNKNOWN,
+                kind: EventKind::Instant(InstantKind::FaultInjection),
+            },
+        ]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.span_begins(), 1);
+        assert_eq!(t.count_of(SpanKind::Barrier), 1);
+        assert_eq!(t.count_of(SpanKind::Task), 0);
+        assert_eq!(t.instants_of(InstantKind::FaultInjection), 1);
+        assert_eq!(t.instants_of(InstantKind::FreqRetarget), 0);
+    }
+
+    #[test]
+    fn span_duration() {
+        let s = Span { kind: SpanKind::Chunk, thread: 1, begin_ns: 10, end_ns: 35 };
+        assert_eq!(s.duration_ns(), 25);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # ompvar-obs — unified tracing & telemetry
+//!
+//! The observability layer shared by both runtime backends. The paper's
+//! method is *attribution* — explaining run-to-run variability by lining
+//! timing distributions up against frequency logs and placement — and
+//! that requires seeing *which* barrier, workshare pass, or noise burst
+//! inside a run produced an outlier, not just aggregate counters.
+//!
+//! This crate is dependency-free and backend-agnostic:
+//!
+//! * [`event`] — the typed event vocabulary: span kinds
+//!   ([`SpanKind`]: region, workshare, chunk, barrier, single, critical,
+//!   ordered, task), instant kinds ([`InstantKind`]: noise preemption,
+//!   fault injection, frequency retarget), and the flat [`TraceEvent`]
+//!   record (timestamp, thread, core).
+//! * [`record`] — the [`TraceSink`] trait plus a lock-free-ish
+//!   per-thread buffered recorder ([`ThreadRecorder`]/[`TeamRecorder`]):
+//!   the hot path is a plain vector push; the only lock is taken once
+//!   per thread at submission time.
+//! * [`wellformed`] — structural validation (every begin matched by an
+//!   end, per-thread LIFO nesting, per-thread monotone timestamps) and
+//!   span recovery.
+//! * [`metrics`] — a log-bucketed [`LatencyHistogram`] and the
+//!   per-construct [`MetricsRegistry`] (p50/p95/p99/max).
+//! * [`chrome`] — hand-rolled Chrome trace-event JSON export, loadable
+//!   in Perfetto / `chrome://tracing`, with frequency samples exported
+//!   as counter tracks.
+//! * [`json`] — a minimal JSON value model, parser and string escaper,
+//!   used for machine-readable run reports and output validation.
+//!
+//! Timestamps are plain `u64` nanoseconds: virtual time on the simulated
+//! backend, a monotonic clock on the native one. The two backends thus
+//! produce structurally identical traces that all downstream tooling
+//! consumes uniformly.
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod record;
+pub mod wellformed;
+
+pub use chrome::chrome_trace;
+pub use event::{
+    EventKind, InstantKind, Span, SpanKind, Trace, TraceEvent, CORE_UNKNOWN, THREAD_GLOBAL,
+};
+pub use metrics::{LatencyHistogram, MetricsRegistry, SpanStats};
+pub use record::{NullSink, TeamRecorder, ThreadRecorder, TraceSink};

@@ -1,0 +1,179 @@
+//! Structural validation of traces: begin/end matching, per-thread LIFO
+//! nesting, per-thread timestamp monotonicity — and span recovery.
+//!
+//! These are the invariants every correct backend must uphold regardless
+//! of schedule, noise, or placement, which makes them a differential-
+//! fuzzing oracle: `ompvar-qcheck` runs fuzzed regions on both backends
+//! with tracing on and calls [`check`] on the result.
+
+use crate::event::{EventKind, Span, Trace};
+use std::collections::BTreeMap;
+
+/// Recover completed spans from a trace, best-effort, collecting
+/// structural violations instead of failing.
+///
+/// Returns the well-nested spans that could be paired plus a list of
+/// human-readable violations (empty for a well-formed trace):
+///
+/// * an `End` with no open span, or whose kind differs from the
+///   innermost open span (broken LIFO nesting);
+/// * a `Begin` left unclosed at the end of the trace;
+/// * a timestamp running backwards within one thread.
+pub fn pair_spans(trace: &Trace) -> (Vec<Span>, Vec<String>) {
+    let mut spans = Vec::new();
+    let mut errors = Vec::new();
+    // Per-thread open-span stacks and last-seen times.
+    let mut stacks: BTreeMap<u32, Vec<(crate::event::SpanKind, u64)>> = BTreeMap::new();
+    let mut last: BTreeMap<u32, u64> = BTreeMap::new();
+    for (i, ev) in trace.events.iter().enumerate() {
+        match last.get(&ev.thread) {
+            Some(&t) if ev.time_ns < t => errors.push(format!(
+                "event {i} on thread {}: time runs backwards ({} < {})",
+                ev.thread, ev.time_ns, t
+            )),
+            _ => {
+                last.insert(ev.thread, ev.time_ns);
+            }
+        }
+        match ev.kind {
+            EventKind::Begin(kind) => {
+                stacks.entry(ev.thread).or_default().push((kind, ev.time_ns));
+            }
+            EventKind::End(kind) => {
+                let stack = stacks.entry(ev.thread).or_default();
+                match stack.pop() {
+                    Some((open, begin_ns)) if open == kind => spans.push(Span {
+                        kind,
+                        thread: ev.thread,
+                        begin_ns,
+                        end_ns: ev.time_ns.max(begin_ns),
+                    }),
+                    Some((open, begin_ns)) => {
+                        errors.push(format!(
+                            "event {i} on thread {}: end of {} while innermost open span \
+                             is {} (opened at {} ns)",
+                            ev.thread,
+                            kind.name(),
+                            open.name(),
+                            begin_ns
+                        ));
+                        // Keep the mismatched opener so a later, correct
+                        // end can still close it.
+                        stack.push((open, begin_ns));
+                    }
+                    None => errors.push(format!(
+                        "event {i} on thread {}: end of {} with no open span",
+                        ev.thread,
+                        kind.name()
+                    )),
+                }
+            }
+            EventKind::Instant(_) => {}
+        }
+    }
+    for (thread, stack) in &stacks {
+        for (kind, begin_ns) in stack {
+            errors.push(format!(
+                "thread {thread}: {} span opened at {begin_ns} ns never closed",
+                kind.name()
+            ));
+        }
+    }
+    (spans, errors)
+}
+
+/// Strict form of [`pair_spans`]: the recovered spans on success, the
+/// violation list on failure.
+pub fn check(trace: &Trace) -> Result<Vec<Span>, Vec<String>> {
+    let (spans, errors) = pair_spans(trace);
+    if errors.is_empty() {
+        Ok(spans)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, InstantKind, SpanKind, TraceEvent, THREAD_GLOBAL};
+
+    fn ev(time_ns: u64, thread: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent { time_ns, thread, core: 0, kind }
+    }
+
+    #[test]
+    fn well_nested_two_thread_trace_passes() {
+        use EventKind::{Begin, End};
+        use SpanKind::{Barrier, Chunk, Workshare};
+        let t = Trace::new(vec![
+            ev(0, 0, Begin(Workshare)),
+            ev(1, 0, Begin(Chunk)),
+            ev(0, 1, Begin(Workshare)),
+            ev(4, 0, End(Chunk)),
+            ev(5, 0, End(Workshare)),
+            ev(6, 1, End(Workshare)),
+            ev(7, 0, Begin(Barrier)),
+            ev(7, 1, Begin(Barrier)),
+            ev(9, 0, End(Barrier)),
+            ev(9, 1, End(Barrier)),
+            ev(3, THREAD_GLOBAL, EventKind::Instant(InstantKind::FreqRetarget)),
+        ]);
+        // The global instant at t=3 arrives after t=9 events of other
+        // threads — fine, monotonicity is per-thread.
+        let spans = check(&t).expect("well-formed");
+        assert_eq!(spans.len(), 5);
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Chunk && s.duration_ns() == 3));
+    }
+
+    #[test]
+    fn unmatched_end_reported() {
+        let t = Trace::new(vec![ev(5, 0, EventKind::End(SpanKind::Barrier))]);
+        let errs = check(&t).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("no open span"), "{errs:?}");
+    }
+
+    #[test]
+    fn unclosed_begin_reported() {
+        let t = Trace::new(vec![ev(5, 3, EventKind::Begin(SpanKind::Region))]);
+        let errs = check(&t).unwrap_err();
+        assert!(errs[0].contains("never closed"), "{errs:?}");
+        assert!(errs[0].contains("region"), "{errs:?}");
+    }
+
+    #[test]
+    fn broken_nesting_reported_but_outer_still_pairs() {
+        use EventKind::{Begin, End};
+        let t = Trace::new(vec![
+            ev(0, 0, Begin(SpanKind::Workshare)),
+            ev(1, 0, Begin(SpanKind::Chunk)),
+            ev(2, 0, End(SpanKind::Workshare)), // crosses the open chunk
+            ev(3, 0, End(SpanKind::Chunk)),
+            ev(4, 0, End(SpanKind::Workshare)),
+        ]);
+        let (spans, errors) = pair_spans(&t);
+        assert!(errors.iter().any(|e| e.contains("innermost open span")), "{errors:?}");
+        // chunk and the outer workshare still pair up.
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn backwards_time_on_one_thread_reported() {
+        use EventKind::{Begin, End};
+        let t = Trace::new(vec![
+            ev(10, 0, Begin(SpanKind::Barrier)),
+            ev(4, 0, End(SpanKind::Barrier)),
+        ]);
+        let (spans, errors) = pair_spans(&t);
+        assert!(errors.iter().any(|e| e.contains("backwards")), "{errors:?}");
+        // The pair is still recovered, clamped to zero duration.
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].duration_ns(), 0);
+    }
+
+    #[test]
+    fn empty_trace_is_well_formed() {
+        assert!(check(&Trace::default()).expect("ok").is_empty());
+    }
+}

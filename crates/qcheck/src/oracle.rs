@@ -14,7 +14,11 @@
 //! 5. neither backend observed a mutual-exclusion or ordered-sequence
 //!    violation;
 //! 6. both backends produced the same measured-interval shape (same
-//!    marker ids, same repetition counts — mark-pair well-nesting).
+//!    marker ids, same repetition counts — mark-pair well-nesting);
+//! 7. both backends' span traces are structurally well-formed — every
+//!    begin matched by an end of the same kind, LIFO nesting per thread,
+//!    per-thread time monotone, exactly one region span per team thread
+//!    (trace well-formedness oracle).
 
 use ompvar_rt::native::NativeRuntime;
 use ompvar_rt::region::RegionSpec;
@@ -36,13 +40,45 @@ pub fn sim_runtime(n_threads: usize) -> SimRuntime {
     )
     .with_params(SimParams::sterile())
     .with_time_limit(300 * SEC)
+    .with_tracing(true)
 }
 
 /// The native runtime used for differential runs: unpinned (CI-safe)
 /// with a generous-but-bounded deadline so a semantic bug shows up as a
 /// typed timeout, not a hang.
 pub fn native_runtime() -> NativeRuntime {
-    NativeRuntime::new(RtConfig::unbound()).with_deadline(Some(Duration::from_secs(30)))
+    NativeRuntime::new(RtConfig::unbound())
+        .with_deadline(Some(Duration::from_secs(30)))
+        .with_tracing(true)
+}
+
+/// Trace well-formedness oracle: the span timeline of a successful run
+/// must pair up cleanly and carry exactly one region span per thread.
+fn check_trace(
+    reasons: &mut Vec<String>,
+    backend: &str,
+    result: &ompvar_rt::config::RegionResult,
+    n_threads: usize,
+) {
+    let Some(trace) = &result.trace else {
+        reasons.push(format!("{backend} ran with tracing on but recorded no trace"));
+        return;
+    };
+    match ompvar_obs::wellformed::check(trace) {
+        Ok(_) => {
+            let regions = trace.count_of(ompvar_obs::SpanKind::Region);
+            if regions != n_threads {
+                reasons.push(format!(
+                    "{backend} trace has {regions} region span(s) for {n_threads} thread(s)"
+                ));
+            }
+        }
+        Err(errs) => reasons.push(format!(
+            "{backend} trace is malformed ({} violation(s)):\n    {}",
+            errs.len(),
+            errs.join("\n    ")
+        )),
+    }
 }
 
 /// Check one violation category, pushing a reason string on mismatch.
@@ -81,6 +117,7 @@ pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
                 ));
             }
             expect_eq(&mut reasons, "sim", &a.effects, &want);
+            check_trace(&mut reasons, "sim", &a, region.n_threads);
             Some(a)
         }
         (Err(e), _) | (_, Err(e)) => {
@@ -105,6 +142,7 @@ pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
                     r.effects.ordered_violations
                 ));
             }
+            check_trace(&mut reasons, "native", &r, region.n_threads);
             Some(r)
         }
         Err(e) => {

@@ -2,6 +2,7 @@
 //! the `OMP_PLACES` / `OMP_PROC_BIND` environment variables, and the
 //! result type shared by both backends.
 
+use ompvar_obs::{MetricsRegistry, SpanKind, SpanStats, Trace};
 use ompvar_sim::trace::{Counters, FreqSample, SemanticEffects};
 use ompvar_sim::task::TaskStats;
 use ompvar_topology::{Places, ProcBind};
@@ -65,6 +66,10 @@ pub struct RegionResult {
     /// the backend's sync-object counters. Both backends fill this, which
     /// is what makes runs differentially comparable (see `ompvar-qcheck`).
     pub effects: SemanticEffects,
+    /// Construct span/instant timeline; `Some` iff the backend ran with
+    /// tracing enabled. Export with `ompvar_obs::chrome_trace` or fold
+    /// into percentiles with [`RegionResult::span_stats`].
+    pub trace: Option<Trace>,
 }
 
 impl RegionResult {
@@ -77,6 +82,16 @@ impl RegionResult {
         self.intervals_us
             .get(&0)
             .expect("region recorded no measured interval 0")
+    }
+
+    /// Per-construct latency percentiles (p50/p95/p99/max), computed from
+    /// the recorded trace. Empty when the run was not traced or recorded
+    /// no spans of any kind.
+    pub fn span_stats(&self) -> Vec<(SpanKind, SpanStats)> {
+        self.trace
+            .as_ref()
+            .map(|t| MetricsRegistry::from_trace(t).snapshot())
+            .unwrap_or_default()
     }
 }
 

@@ -18,6 +18,8 @@ pub mod workshare;
 use crate::config::{RegionResult, RtConfig};
 use crate::error::RtError;
 use crate::region::{Construct, RegionSpec};
+use ompvar_obs::EventKind as TraceKind;
+use ompvar_obs::{SpanKind, TeamRecorder, ThreadRecorder, TraceEvent, TraceSink, CORE_UNKNOWN};
 use ompvar_sim::trace::SemanticEffects;
 use barrier::SenseBarrier;
 use delay::delay;
@@ -119,14 +121,16 @@ impl NativePool {
     /// outstanding task to complete. Returns `false` once `guard`
     /// expires while tasks are still outstanding.
     #[must_use]
-    fn exec_and_wait(&self, guard: &RunGuard) -> bool {
+    fn exec_and_wait(&self, guard: &RunGuard, trace: &mut Tracer) -> bool {
         loop {
             let job = self.queue.lock().pop_front();
             match job {
                 Some(us) => {
+                    trace.begin(SpanKind::Task);
                     delay(us);
                     self.executed.fetch_add(1, Ordering::Relaxed);
                     self.outstanding.fetch_sub(1, Ordering::AcqRel);
+                    trace.end(SpanKind::Task);
                 }
                 None => break,
             }
@@ -144,9 +148,11 @@ impl NativePool {
             }
             // Help out if new work appeared.
             if let Some(us) = self.queue.lock().pop_front() {
+                trace.begin(SpanKind::Task);
                 delay(us);
                 self.executed.fetch_add(1, Ordering::Relaxed);
                 self.outstanding.fetch_sub(1, Ordering::AcqRel);
+                trace.end(SpanKind::Task);
             }
         }
         true
@@ -213,6 +219,49 @@ fn harvest_effects(objs: &[NObj]) -> SemanticEffects {
     fx
 }
 
+/// Per-thread span recorder for the native backend: monotonic wall-clock
+/// timestamps (ns since region start), buffered locally and merged into a
+/// [`TeamRecorder`] when the thread finishes — no cross-thread
+/// synchronization on the recording path.
+struct Tracer {
+    rec: Option<ThreadRecorder>,
+    rank: u32,
+    t0: Instant,
+}
+
+impl Tracer {
+    /// Recorder for `rank`; records nothing when `on` is false.
+    fn new(on: bool, rank: usize, t0: Instant) -> Self {
+        Tracer {
+            rec: on.then(ThreadRecorder::new),
+            rank: rank as u32,
+            t0,
+        }
+    }
+
+    #[inline]
+    fn event(&mut self, kind: TraceKind) {
+        if let Some(rec) = &mut self.rec {
+            rec.record(TraceEvent {
+                time_ns: self.t0.elapsed().as_nanos() as u64,
+                thread: self.rank,
+                core: CORE_UNKNOWN,
+                kind,
+            });
+        }
+    }
+
+    #[inline]
+    fn begin(&mut self, kind: SpanKind) {
+        self.event(TraceKind::Begin(kind));
+    }
+
+    #[inline]
+    fn end(&mut self, kind: SpanKind) {
+        self.event(TraceKind::End(kind));
+    }
+}
+
 /// Native OpenMP-style runtime.
 #[derive(Debug, Clone)]
 pub struct NativeRuntime {
@@ -223,6 +272,8 @@ pub struct NativeRuntime {
     /// run returns [`RtError::Timeout`] instead of hanging; `None`
     /// disables the watchdog.
     pub deadline: Option<Duration>,
+    /// Record construct span timelines into [`RegionResult::trace`].
+    pub tracing: bool,
 }
 
 impl NativeRuntime {
@@ -232,12 +283,19 @@ impl NativeRuntime {
         NativeRuntime {
             config,
             deadline: Some(Duration::from_secs(60)),
+            tracing: false,
         }
     }
 
     /// Override the region deadline (`None` disables it).
     pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Enable or disable span tracing (see [`NativeRuntime::tracing`]).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 
@@ -257,6 +315,8 @@ impl NativeRuntime {
         let t0 = Instant::now();
         let marks: Mutex<Vec<(u32, f64)>> = Mutex::new(Vec::new());
         let first_timeout: Mutex<Option<&'static str>> = Mutex::new(None);
+        let team_trace = TeamRecorder::new();
+        let tracing = self.tracing;
         std::thread::scope(|s| {
             for rank in 0..n {
                 let objs = &objs;
@@ -264,6 +324,7 @@ impl NativeRuntime {
                 let marks = &marks;
                 let guard = &guard;
                 let first_timeout = &first_timeout;
+                let team_trace = &team_trace;
                 let place = assignment.get(rank).cloned().flatten();
                 s.spawn(move || {
                     if let Some(p) = place {
@@ -279,11 +340,17 @@ impl NativeRuntime {
                         local_marks: Vec::new(),
                         t0,
                         guard,
+                        trace: Tracer::new(tracing, rank, t0),
                     };
+                    ctx.trace.begin(SpanKind::Region);
                     if let Err(construct) = interpret(constructs, objs, &mut ctx, &mut 0) {
                         let mut slot = first_timeout.lock();
                         slot.get_or_insert(construct);
                         return;
+                    }
+                    ctx.trace.end(SpanKind::Region);
+                    if let Some(rec) = ctx.trace.rec.take() {
+                        team_trace.submit(rec);
                     }
                     if rank == 0 {
                         marks.lock().extend(ctx.local_marks);
@@ -322,6 +389,7 @@ impl NativeRuntime {
             counters: None,
             thread_stats: Vec::new(),
             effects: harvest_effects(&objs),
+            trace: tracing.then(|| team_trace.finish()),
         })
     }
 }
@@ -359,6 +427,8 @@ struct ThreadCtx<'a> {
     t0: Instant,
     /// Shared run deadline consulted by every bounded wait.
     guard: &'a RunGuard,
+    /// Per-thread span recorder (a no-op when tracing is off).
+    trace: Tracer,
 }
 
 impl ThreadCtx<'_> {
@@ -446,16 +516,22 @@ fn interpret(
             }
             Construct::Barrier => {
                 let NObj::Barrier(b) = &objs[my] else { unreachable!() };
+                ctx.trace.begin(SpanKind::Barrier);
                 if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
                     return Err("barrier");
                 }
+                ctx.trace.end(SpanKind::Barrier);
             }
             Construct::Critical { body_us } | Construct::LockUnlock { body_us } => {
                 let NObj::Lock(l) = &objs[my] else { unreachable!() };
+                // As in the simulated backend, the critical span includes
+                // the wait to acquire the lock.
+                ctx.trace.begin(SpanKind::Critical);
                 l.section(|v| {
                     delay(*body_us);
                     *v += 1.0;
                 });
+                ctx.trace.end(SpanKind::Critical);
             }
             Construct::Atomic => {
                 let NObj::Atomic(a) = &objs[my] else { unreachable!() };
@@ -465,12 +541,16 @@ fn interpret(
                 let NObj::SingleWithBarrier(single, b) = &objs[my] else {
                     unreachable!()
                 };
+                ctx.trace.begin(SpanKind::Single);
                 if single.enter(b.team_size() as u64) {
                     delay(*body_us);
                 }
+                ctx.trace.end(SpanKind::Single);
+                ctx.trace.begin(SpanKind::Barrier);
                 if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
                     return Err("single");
                 }
+                ctx.trace.end(SpanKind::Barrier);
             }
             Construct::Reduction { body_us } => {
                 let NObj::LockWithBarrier(acc, b) = &objs[my] else {
@@ -478,20 +558,28 @@ fn interpret(
                 };
                 delay(*body_us);
                 let rank = ctx.rank as f64;
+                // The combine serializes through a lock, as the simulated
+                // backend models it: a critical span.
+                ctx.trace.begin(SpanKind::Critical);
                 acc.section(|v| *v += rank + 1.0);
+                ctx.trace.end(SpanKind::Critical);
+                ctx.trace.begin(SpanKind::Barrier);
                 if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
                     return Err("reduction");
                 }
+                ctx.trace.end(SpanKind::Barrier);
             }
             Construct::ParallelFor { body_us, .. } => {
                 let NObj::LoopWithBarrier(lp, bar, ordered) = &objs[my] else {
                     unreachable!()
                 };
+                ctx.trace.begin(SpanKind::Workshare);
                 loop {
                     let Some((first, len)) = lp.grab(ctx.rank, &mut ctx.cursor[my]) else {
                         lp.observe_exhausted(&mut ctx.cursor[my]);
                         break;
                     };
+                    ctx.trace.begin(SpanKind::Chunk);
                     match ordered {
                         None => {
                             for _ in 0..len {
@@ -501,33 +589,43 @@ fn interpret(
                         Some(section_us) => {
                             for i in first..first + len {
                                 delay(*body_us);
+                                ctx.trace.begin(SpanKind::Ordered);
                                 if !lp.wait_ticket_bounded(i, ctx.guard) {
                                     return Err("ordered section");
                                 }
                                 lp.note_ordered_entry(i);
                                 delay(*section_us);
                                 lp.ticket_done();
+                                ctx.trace.end(SpanKind::Ordered);
                             }
                         }
                     }
+                    ctx.trace.end(SpanKind::Chunk);
                 }
+                ctx.trace.end(SpanKind::Workshare);
                 if let Some(b) = bar {
+                    ctx.trace.begin(SpanKind::Barrier);
                     if !b.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
                         return Err("loop barrier");
                     }
+                    ctx.trace.end(SpanKind::Barrier);
                 }
             }
             Construct::ParallelRegion { body } => {
                 let NObj::RegionBarriers(entry, exit) = &objs[my] else {
                     unreachable!()
                 };
+                ctx.trace.begin(SpanKind::Barrier);
                 if !entry.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
                     return Err("region entry barrier");
                 }
+                ctx.trace.end(SpanKind::Barrier);
                 interpret(body, objs, ctx, idx)?;
+                ctx.trace.begin(SpanKind::Barrier);
                 if !exit.wait_bounded(&mut ctx.sense[2 * my + 1], ctx.guard) {
                     return Err("region exit barrier");
                 }
+                ctx.trace.end(SpanKind::Barrier);
             }
             Construct::Tasks {
                 per_spawner,
@@ -545,15 +643,19 @@ fn interpret(
                 if !master_only || ctx.rank == 0 {
                     pool.spawn(*body_us, *per_spawner);
                 }
+                ctx.trace.begin(SpanKind::Barrier);
                 if !after_spawn.wait_bounded(&mut ctx.sense[2 * my], ctx.guard) {
                     return Err("task spawn barrier");
                 }
-                if !pool.exec_and_wait(ctx.guard) {
+                ctx.trace.end(SpanKind::Barrier);
+                if !pool.exec_and_wait(ctx.guard, &mut ctx.trace) {
                     return Err("taskwait");
                 }
+                ctx.trace.begin(SpanKind::Barrier);
                 if !fin.wait_bounded(&mut ctx.sense[2 * fin_idx], ctx.guard) {
                     return Err("task final barrier");
                 }
+                ctx.trace.end(SpanKind::Barrier);
             }
             Construct::MarkBegin(k) => {
                 if ctx.rank == 0 {

@@ -59,6 +59,10 @@ pub struct SimRuntime {
     pub time_limit: Time,
     /// Fault injections delivered during every run (empty: none).
     pub faults: FaultPlan,
+    /// Record construct span timelines into [`RegionResult::trace`].
+    /// Tracing never perturbs virtual time: traced and untraced runs of
+    /// the same seed are time-identical.
+    pub tracing: bool,
 }
 
 impl SimRuntime {
@@ -72,6 +76,7 @@ impl SimRuntime {
             freq_logger: None,
             time_limit: 3_000 * SEC,
             faults: FaultPlan::new(),
+            tracing: false,
         }
     }
 
@@ -96,6 +101,12 @@ impl SimRuntime {
     /// Override the virtual-time budget for one region run.
     pub fn with_time_limit(mut self, limit: Time) -> Self {
         self.time_limit = limit;
+        self
+    }
+
+    /// Enable or disable span tracing (see [`SimRuntime::tracing`]).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 
@@ -174,7 +185,11 @@ impl SimRuntime {
         if !self.faults.is_empty() {
             sim.inject_faults(&self.faults);
         }
-        let report = sim.run(self.time_limit).map_err(RtError::Sim)?;
+        if self.tracing {
+            sim.enable_tracing();
+        }
+        let mut report = sim.run(self.time_limit).map_err(RtError::Sim)?;
+        let trace = report.trace.take();
         let master = master.expect("team is non-empty");
         let mut result = RegionResult {
             wall_us: report.final_time as f64 / 1e3,
@@ -182,6 +197,7 @@ impl SimRuntime {
             counters: Some(report.counters),
             thread_stats: report.task_stats.iter().map(|&(_, s)| s).collect(),
             effects: harvest_effects(&allocs, &report),
+            trace,
             ..Default::default()
         };
         for k in marker_pairs {

@@ -1,0 +1,152 @@
+//! Tracing overhead guarantees, on both backends.
+//!
+//! The simulated backend must be *time-identical* with tracing on or off:
+//! span recording happens outside virtual time and the marker micro-ops
+//! are free, so enabling the recorder may never change a result. The
+//! native backend's recorder is a plain per-thread `Vec` push, so a
+//! traced run must stay within a generous factor of an untraced one, and
+//! a disabled recorder must leave no trace behind at all.
+
+use ompvar_obs::{wellformed, SpanKind};
+use ompvar_rt::config::RtConfig;
+use ompvar_rt::native::NativeRuntime;
+use ompvar_rt::region::{Construct, RegionSpec, Schedule};
+use ompvar_rt::simrt::SimRuntime;
+use ompvar_topology::{MachineSpec, Places};
+
+/// A region touching every traced construct kind.
+fn mixed_region(n: usize, reps: u32) -> RegionSpec {
+    RegionSpec::measured(
+        n,
+        reps,
+        1,
+        vec![
+            Construct::Barrier,
+            Construct::ParallelFor {
+                schedule: Schedule::Dynamic { chunk: 1 },
+                total_iters: 64,
+                body_us: 0.5,
+                ordered_us: Some(0.1),
+                nowait: false,
+            },
+            Construct::Critical { body_us: 0.2 },
+            Construct::Single { body_us: 0.2 },
+            Construct::Tasks {
+                per_spawner: 4,
+                body_us: 0.2,
+                master_only: false,
+            },
+        ],
+    )
+}
+
+fn sim_rt() -> SimRuntime {
+    let machine = MachineSpec::vera();
+    let config = RtConfig::pinned_close(Places::Threads(Some(4)));
+    SimRuntime::new(machine, config)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+#[test]
+fn sim_virtual_time_is_identical_traced_and_untraced() {
+    let region = mixed_region(4, 4);
+    // Default (noisy) parameters: determinism per seed must make the
+    // traced run reproduce the untraced one exactly, noise and all.
+    let off = sim_rt().run(&region, 42).expect("untraced run completes");
+    let on = sim_rt()
+        .with_tracing(true)
+        .run(&region, 42)
+        .expect("traced run completes");
+    assert_eq!(off.reps(), on.reps(), "tracing changed repetition times");
+    assert_eq!(off.wall_us, on.wall_us, "tracing changed wall time");
+    assert_eq!(off.counters, on.counters, "tracing changed engine counters");
+    assert!(off.trace.is_none(), "untraced run carries a trace");
+    let trace = on.trace.as_ref().expect("traced run records a trace");
+    assert!(!trace.is_empty());
+}
+
+#[test]
+fn sim_trace_is_well_formed_and_covers_constructs() {
+    let region = mixed_region(4, 3);
+    let res = sim_rt()
+        .with_tracing(true)
+        .run(&region, 7)
+        .expect("traced run completes");
+    let trace = res.trace.as_ref().expect("trace recorded");
+    let spans = wellformed::check(trace)
+        .unwrap_or_else(|errs| panic!("sim trace malformed: {errs:?}"));
+    assert!(!spans.is_empty());
+    assert_eq!(trace.count_of(SpanKind::Region), 4, "one region span per thread");
+    for kind in [
+        SpanKind::Barrier,
+        SpanKind::Workshare,
+        SpanKind::Chunk,
+        SpanKind::Ordered,
+        SpanKind::Critical,
+        SpanKind::Single,
+        SpanKind::Task,
+    ] {
+        assert!(
+            trace.count_of(kind) > 0,
+            "no {} spans in sim trace",
+            kind.name()
+        );
+    }
+    // The metrics registry sees the same spans.
+    let stats = res.span_stats();
+    assert!(stats.iter().any(|(k, s)| *k == SpanKind::Barrier && s.count > 0));
+}
+
+#[test]
+fn native_disabled_recorder_leaves_no_trace_and_does_not_distort_medians() {
+    let region = mixed_region(2, 8);
+    let rt_off = NativeRuntime::new(RtConfig::unbound());
+    let rt_on = rt_off.clone().with_tracing(true);
+    let off = rt_off.run(&region).expect("untraced native run completes");
+    let on = rt_on.run(&region).expect("traced native run completes");
+    assert!(off.trace.is_none(), "disabled recorder left a trace");
+    let trace = on.trace.as_ref().expect("traced run records a trace");
+    let spans = wellformed::check(trace)
+        .unwrap_or_else(|errs| panic!("native trace malformed: {errs:?}"));
+    assert!(!spans.is_empty());
+    // Generous bound: recording is a Vec push per event, so even a noisy
+    // CI host must keep the traced median within 10× + 1 ms of the
+    // untraced one. This guards against accidental locking or I/O on the
+    // recording path, not against cache effects.
+    let m_off = median(off.reps().to_vec());
+    let m_on = median(on.reps().to_vec());
+    assert!(
+        m_on <= m_off * 10.0 + 1_000.0,
+        "tracing distorted the median: {m_off} µs -> {m_on} µs"
+    );
+}
+
+#[test]
+fn native_trace_covers_constructs() {
+    let region = mixed_region(2, 2);
+    let res = NativeRuntime::new(RtConfig::unbound())
+        .with_tracing(true)
+        .run(&region)
+        .expect("traced native run completes");
+    let trace = res.trace.as_ref().expect("trace recorded");
+    assert_eq!(trace.count_of(SpanKind::Region), 2, "one region span per thread");
+    for kind in [
+        SpanKind::Barrier,
+        SpanKind::Workshare,
+        SpanKind::Chunk,
+        SpanKind::Ordered,
+        SpanKind::Critical,
+        SpanKind::Single,
+        SpanKind::Task,
+    ] {
+        assert!(
+            trace.count_of(kind) > 0,
+            "no {} spans in native trace",
+            kind.name()
+        );
+    }
+}

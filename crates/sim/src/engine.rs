@@ -31,6 +31,8 @@ use crate::task::{
 };
 use crate::time::{from_ns_f64, Time};
 use crate::trace::{Counters, FreqSample, MarkerRecord, ObjEffects, SimReport};
+use ompvar_obs::EventKind as TraceKind;
+use ompvar_obs::{InstantKind, SpanKind, Trace, TraceEvent, CORE_UNKNOWN, THREAD_GLOBAL};
 use ompvar_topology::{HwThreadId, MachineSpec, Place};
 use std::collections::VecDeque;
 
@@ -166,6 +168,9 @@ pub struct Simulator {
     lost_wakeups_armed: u32,
     /// Optional hard cap on processed events.
     event_budget: Option<u64>,
+    /// Span/instant event buffer; `Some` iff tracing is enabled. Virtual
+    /// time is unaffected by tracing: recording costs nothing in-model.
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl Simulator {
@@ -228,6 +233,7 @@ impl Simulator {
             rng_fault: root.fork("fault", 0),
             lost_wakeups_armed: 0,
             event_budget: None,
+            trace: None,
             machine,
             params,
             now: 0,
@@ -341,6 +347,48 @@ impl Simulator {
     /// runaway event chains.
     pub fn set_event_budget(&mut self, budget: u64) {
         self.event_budget = Some(budget);
+    }
+
+    /// Turn on span/instant tracing. Tracing records construct timelines
+    /// (region, barrier, workshare, …) into the report's [`Trace`] without
+    /// perturbing virtual time: traced and untraced runs of the same seed
+    /// produce identical timing.
+    pub fn enable_tracing(&mut self) {
+        assert!(!self.started, "tracing must be enabled before run()");
+        self.trace = Some(Vec::new());
+    }
+
+    /// Record a span begin/end for `tid` at the current virtual time,
+    /// stamped with the task's team rank and current CPU.
+    #[inline]
+    fn trace_task(&mut self, tid: TaskId, kind: TraceKind) {
+        if self.trace.is_none() {
+            return;
+        }
+        let t = &self.tasks[tid.0 as usize];
+        let ev = TraceEvent {
+            time_ns: self.now,
+            thread: t.rank as u32,
+            core: t.cpu as u32,
+            kind,
+        };
+        if let Some(buf) = &mut self.trace {
+            buf.push(ev);
+        }
+    }
+
+    /// Record a runtime-wide instant event (fault, retarget) not tied to
+    /// any team thread.
+    #[inline]
+    fn trace_global(&mut self, kind: InstantKind, core: u32) {
+        if let Some(buf) = &mut self.trace {
+            buf.push(TraceEvent {
+                time_ns: self.now,
+                thread: THREAD_GLOBAL,
+                core,
+                kind: TraceKind::Instant(kind),
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -726,6 +774,9 @@ impl Simulator {
                 }
                 MicroOp::LockAcquire(obj) => {
                     let cpu = self.tasks[ti].cpu;
+                    // Critical span opens at the acquire attempt, so lock
+                    // wait time is inside the span (EPCC measures it so).
+                    self.trace_task(tid, TraceKind::Begin(SpanKind::Critical));
                     let SyncObj::Lock(l) = &mut self.objs[obj.0 as usize] else {
                         self.type_mismatch("LockAcquire", obj, "lock");
                         return;
@@ -749,6 +800,7 @@ impl Simulator {
                         let cost = self.params.sync.lock_ns * span;
                         self.wake(next, cost);
                     }
+                    self.trace_task(tid, TraceKind::End(SpanKind::Critical));
                 }
                 MicroOp::AtomicStart(obj) => {
                     let SyncObj::Atomic(a) = &mut self.objs[obj.0 as usize] else {
@@ -769,6 +821,9 @@ impl Simulator {
                     self.grab_chunk(tid, obj);
                 }
                 MicroOp::WaitTicket { obj, iter } => {
+                    // Ordered span opens at the ticket wait: it covers the
+                    // in-turn wait plus the ordered body.
+                    self.trace_task(tid, TraceKind::Begin(SpanKind::Ordered));
                     let SyncObj::Loop(l) = &mut self.objs[obj.0 as usize] else {
                         self.type_mismatch("WaitTicket", obj, "loop");
                         return;
@@ -781,6 +836,7 @@ impl Simulator {
                     }
                 }
                 MicroOp::TicketDone { obj } => {
+                    self.trace_task(tid, TraceKind::End(SpanKind::Ordered));
                     let SyncObj::Loop(l) = &mut self.objs[obj.0 as usize] else {
                         self.type_mismatch("TicketDone", obj, "loop");
                         return;
@@ -832,6 +888,7 @@ impl Simulator {
                                 rem: cycles,
                                 class: CorunClass::Latency,
                             }));
+                            self.trace_task(tid, TraceKind::Begin(SpanKind::Task));
                         }
                         None => {
                             if p.outstanding > 0 {
@@ -845,6 +902,7 @@ impl Simulator {
                     }
                 }
                 MicroOp::TaskDone { obj } => {
+                    self.trace_task(tid, TraceKind::End(SpanKind::Task));
                     let SyncObj::TaskPool(p) = &mut self.objs[obj.0 as usize] else {
                         self.type_mismatch("TaskDone", obj, "task-pool");
                         return;
@@ -856,11 +914,16 @@ impl Simulator {
                     }
                 }
                 MicroOp::SingleTry { obj, body_cycles } => {
+                    self.trace_task(tid, TraceKind::Begin(SpanKind::Single));
                     let SyncObj::Single(s) = &mut self.objs[obj.0 as usize] else {
                         self.type_mismatch("SingleTry", obj, "single");
                         return;
                     };
                     if s.enter() {
+                        // Close the span after the winner's body runs; the
+                        // marker micro-op is free, so traced and untraced
+                        // runs stay time-identical.
+                        self.tasks[ti].micro.push_front(MicroOp::SpanEnd(SpanKind::Single));
                         if body_cycles > 0.0 {
                             self.tasks[ti].micro.push_front(MicroOp::Timed(Timed::Cycles {
                                 rem: body_cycles,
@@ -869,7 +932,11 @@ impl Simulator {
                         }
                     } else {
                         self.tasks[ti].pending_overhead_ns += self.params.sync.single_ns;
+                        self.trace_task(tid, TraceKind::End(SpanKind::Single));
                     }
+                }
+                MicroOp::SpanEnd(kind) => {
+                    self.trace_task(tid, TraceKind::End(kind));
                 }
             }
         }
@@ -946,6 +1013,10 @@ impl Simulator {
                         .micro
                         .push_back(MicroOp::Timed(Timed::Ns { rem: arrive }));
                     self.tasks[ti].micro.push_back(MicroOp::BarrierArrive(obj));
+                    // The barrier span covers arrive overhead + wait: it
+                    // opens here and closes on release (in `wake`, or in
+                    // `barrier_arrive` for the last arriver).
+                    self.trace_task(tid, TraceKind::Begin(SpanKind::Barrier));
                 }
                 Op::LockAcquire { obj } => {
                     self.tasks[ti].micro.push_back(MicroOp::LockAcquire(obj));
@@ -965,6 +1036,7 @@ impl Simulator {
                     self.tasks[ti].loop_gen = u64::MAX;
                     self.tasks[ti].loop_pos = 0;
                     self.tasks[ti].micro.push_back(MicroOp::GrabChunk(obj));
+                    self.trace_task(tid, TraceKind::Begin(SpanKind::Workshare));
                 }
                 Op::Single { obj, body_cycles } => {
                     self.tasks[ti]
@@ -1014,6 +1086,7 @@ impl Simulator {
                 };
                 l.observe_exhausted();
                 // Loop op done; fall through to the next micro/op.
+                self.trace_task(tid, TraceKind::End(SpanKind::Workshare));
             }
             Some(g) => {
                 let sync = &self.params.sync;
@@ -1056,7 +1129,9 @@ impl Simulator {
                         }
                     }
                 }
+                t.micro.push_back(MicroOp::SpanEnd(SpanKind::Chunk));
                 t.micro.push_back(MicroOp::GrabChunk(obj));
+                self.trace_task(tid, TraceKind::Begin(SpanKind::Chunk));
             }
         }
     }
@@ -1076,6 +1151,7 @@ impl Simulator {
             let per_dist = self.params.sync.barrier_release_per_distance_ns;
             // The last arriver pays the base release cost itself.
             self.tasks[tid.0 as usize].pending_overhead_ns += base * span;
+            self.trace_task(tid, TraceKind::End(SpanKind::Barrier));
             for w in waiters {
                 let wcpu = self.tasks[w.0 as usize].cpu;
                 let d = self
@@ -1109,6 +1185,14 @@ impl Simulator {
             self.lost_wakeups_armed -= 1;
             self.counters.lost_wakeups += 1;
             return;
+        }
+        // A waiter released from a barrier closes its barrier span here
+        // (its `BarrierArrive` micro-op was consumed when it blocked).
+        if matches!(
+            self.tasks[ti].state,
+            TaskState::Waiting(WaitKind::Barrier(_))
+        ) {
+            self.trace_task(tid, TraceKind::End(SpanKind::Barrier));
         }
         self.tasks[ti].state = TaskState::Runnable;
         self.tasks[ti].pending_overhead_ns += cost_ns;
@@ -1161,6 +1245,9 @@ impl Simulator {
     /// Remove a finished task from its CPU and recycle kernel tasks.
     fn finish_task(&mut self, tid: TaskId) {
         let ti = tid.0 as usize;
+        if self.tasks[ti].kind == TaskKind::User {
+            self.trace_task(tid, TraceKind::End(SpanKind::Region));
+        }
         self.tasks[ti].state = TaskState::Done;
         let cpu = self.tasks[ti].cpu;
         debug_assert_eq!(self.cpus[cpu].running, Some(tid));
@@ -1282,6 +1369,7 @@ impl Simulator {
                         self.tasks[r.0 as usize].pending_overhead_ns += refill;
                         self.tasks[r.0 as usize].stats.preemptions += 1;
                         self.counters.preemptions += 1;
+                        self.trace_task(r, TraceKind::Instant(InstantKind::NoisePreemption));
                         self.cpus[cpu].kq.push_back(tid);
                         self.commit(cpu);
                     }
@@ -1461,6 +1549,16 @@ impl Simulator {
         let users = self.user_tasks.clone();
         for tid in users {
             let cpu = self.initial_cpu(tid);
+            // Open the region span before enqueue: placement may run the
+            // task synchronously, and its construct spans must nest inside.
+            if let Some(buf) = &mut self.trace {
+                buf.push(TraceEvent {
+                    time_ns: self.now,
+                    thread: self.tasks[tid.0 as usize].rank as u32,
+                    core: cpu as u32,
+                    kind: TraceKind::Begin(SpanKind::Region),
+                });
+            }
             self.enqueue(tid, cpu);
         }
         // Arm noise arrival processes.
@@ -1499,6 +1597,7 @@ impl Simulator {
 
     fn handle_fault_start(&mut self, idx: usize) {
         self.counters.faults_injected += 1;
+        self.trace_global(InstantKind::FaultInjection, CORE_UNKNOWN);
         match self.fault_plan[idx].fault {
             Fault::NoiseStorm { .. } => self.handle_fault_storm_tick(idx),
             Fault::CpuOffline { cpu, .. } => self.fault_cpu_offline(cpu),
@@ -1849,6 +1948,10 @@ impl Simulator {
         }
         if (target - self.sockets[socket].applied_ghz).abs() > 1e-9 {
             self.counters.freq_transitions += 1;
+            // Stamp the retarget with the socket index: a socket-wide
+            // event has no single core, and the socket is what Perfetto
+            // users correlate against the counter tracks.
+            self.trace_global(InstantKind::FreqRetarget, socket as u32);
             // Reprice everything busy on this socket.
             let cpus: Vec<usize> = (0..self.cpus.len())
                 .filter(|&c| {
@@ -2021,6 +2124,7 @@ impl Simulator {
                 .map(|&t| (t, self.tasks[t.0 as usize].stats))
                 .collect(),
             obj_effects: self.objs.iter().map(obj_effects).collect(),
+            trace: self.trace.take().map(Trace::new),
         }
     }
 

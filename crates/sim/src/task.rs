@@ -357,6 +357,10 @@ pub enum MicroOp {
         /// Task-pool object.
         obj: ObjId,
     },
+    /// Close an open trace span for this task. Free when tracing is off;
+    /// always emitted so traced and untraced runs execute identical
+    /// micro-op sequences (and therefore identical timing).
+    SpanEnd(ompvar_obs::SpanKind),
 }
 
 /// What a blocked (spin-waiting) task is waiting for.

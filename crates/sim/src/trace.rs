@@ -2,6 +2,7 @@
 
 use crate::task::{TaskId, TaskStats};
 use crate::time::Time;
+use ompvar_obs::Trace;
 
 /// One timestamped marker emitted by a task's `Mark` op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +153,9 @@ pub struct SimReport {
     /// Per-sync-object effect counters, indexed by object id in
     /// allocation order (see [`ObjEffects`]).
     pub obj_effects: Vec<ObjEffects>,
+    /// Construct span/instant timeline; `Some` iff tracing was enabled
+    /// via [`crate::engine::Simulator::enable_tracing`].
+    pub trace: Option<Trace>,
 }
 
 impl SimReport {

@@ -40,7 +40,8 @@ fn main() {
                 .iter()
                 .map(|s| (s.time, s.core_ghz.clone()))
                 .collect(),
-        );
+        )
+        .expect("simulated logger emits ordered, rectangular samples");
         let series = trace.core_series(0);
         let (lo, hi) = trace.band(0);
         println!(
