@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ompvar-repro [--fast] [--seed N] [--out DIR] [--trace FILE] \
-//!              [--report-json FILE] <table2|fig1|...|trace|all>
+//!              [--report-json FILE] [--resume DIR] [--max-retries N] \
+//!              [--stability-cov X] <table2|fig1|...|trace|campaign|all>
 //! ```
 //!
 //! Each experiment prints its paper-style table(s), runs the shape checks
@@ -11,26 +12,59 @@
 //! trace file written by the `trace` experiment; `--report-json` writes
 //! a machine-readable summary of every table and check in the run.
 //!
-//! Experiments are isolated: a panicking experiment is reported as a
-//! synthesized FAIL check, and the sweep continues through the remaining
-//! experiments (the exit code still reflects the failure).
+//! The whole sweep runs under the campaign supervisor
+//! (`ompvar-supervisor`): a panicking experiment is retried on a seeded
+//! deterministic backoff schedule and quarantined — reported as a
+//! synthesized FAIL check — only once its budget is exhausted, while the
+//! sweep continues. Every completed experiment is journaled to the
+//! `ompvar-checkpoint/1` manifest under `<out>/checkpoint/`, flushed
+//! atomically, so a killed run loses at most the experiment in flight:
+//! `--resume <dir>` replays the journaled experiments and re-runs only
+//! the rest, producing a byte-identical `--report-json` document. Ctrl-C
+//! flushes a partial report marked `"interrupted": true` and exits 130.
 
 use ompvar_harness::{
-    ablation, chunks, common, faults_exp, fig1, fig2, fig3, fig4, fig5, fig67, fuzz_exp, table2,
-    taskbench_exp, trace_exp, Check, ExpOptions, ExpReport,
+    ablation, campaign_exp, chunks, common, faults_exp, fig1, fig2, fig3, fig4, fig5, fig67,
+    fuzz_exp, table2, taskbench_exp, trace_exp, Check, ExpOptions, ExpReport,
+};
+use ompvar_supervisor::{
+    atomic_write, attempt_seed, Header, Manifest, Outcome, Supervisor, SupervisorConfig, UnitError,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "taskbench",
-    "chunks", "faults", "fuzz", "trace",
+    "chunks", "faults", "fuzz", "trace", "campaign",
 ];
+
+/// Set by the SIGINT handler; polled between experiments so an
+/// interrupted sweep still flushes its checkpoint manifest and a partial
+/// run report before exiting with the conventional 130.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_sig: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+fn install_sigint_handler() {
+    // The libc stub carries no `signal`, but the symbol itself links
+    // from the C library std already binds to.
+    const SIGINT: i32 = 2;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: ompvar-repro [--fast] [--seed N] [--out DIR] [--fuzz-cases N] \
-         [--trace FILE] [--report-json FILE] <{}|all>",
+         [--trace FILE] [--report-json FILE] [--resume DIR] [--max-retries N] \
+         [--stability-cov X] <{}|all>",
         EXPERIMENTS.join("|")
     );
     std::process::exit(2);
@@ -52,36 +86,79 @@ fn run_one(name: &str, opts: &ExpOptions) -> ExpReport {
         "faults" => faults_exp::run(opts),
         "fuzz" => fuzz_exp::run(opts),
         "trace" => trace_exp::run(opts),
+        "campaign" => campaign_exp::run(opts),
         // Names are validated before any experiment runs.
         other => unreachable!("unvalidated experiment name {other:?}"),
     }
 }
 
-/// Run one experiment, converting a panic anywhere inside it into a
-/// synthesized FAIL report so the rest of the sweep still runs.
-fn run_isolated(name: &str, opts: &ExpOptions) -> ExpReport {
-    match catch_unwind(AssertUnwindSafe(|| run_one(name, opts))) {
-        Ok(report) => report,
+/// One supervised attempt of an experiment: a panic anywhere inside it
+/// becomes a classified transient failure the supervisor can retry.
+fn attempt(name: &str, opts: &ExpOptions, n: u32) -> Result<ExpReport, UnitError> {
+    // Retries re-run under a decorrelated seed (attempt 0 keeps the base
+    // seed, so a never-retried run matches an unsupervised one).
+    let opts = ExpOptions { seed: attempt_seed(opts.seed, n), ..opts.clone() };
+    match catch_unwind(AssertUnwindSafe(|| run_one(name, &opts))) {
+        Ok(report) => Ok(report),
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            ExpReport {
-                name: name.to_string(),
-                tables: Vec::new(),
-                checks: vec![Check::new(
-                    "experiment completes without panicking",
-                    false,
-                    msg,
-                )],
-            }
+            Err(UnitError::from_panic(msg))
         }
     }
 }
 
+/// The FAIL report synthesized for a quarantined experiment.
+fn quarantine_report(name: &str, retries: &[ompvar_supervisor::RetryRecord]) -> ExpReport {
+    let history = retries
+        .iter()
+        .map(|r| format!("attempt {}: {} [{}]", r.attempt, r.error, r.transience.name()))
+        .collect::<Vec<_>>()
+        .join("; ");
+    ExpReport {
+        name: name.to_string(),
+        tables: Vec::new(),
+        checks: vec![Check::new(
+            "experiment completes within its retry budget",
+            false,
+            format!("quarantined after {} attempt(s): {history}", retries.len()),
+        )],
+    }
+}
+
+fn write_report(opts: &ExpOptions, interrupted: bool, reports: &[ExpReport]) -> bool {
+    let Some(path) = &opts.report_json else {
+        return true;
+    };
+    let doc = common::run_report_json(opts.seed, opts.fast, interrupted, reports);
+    match atomic_write(path, doc.as_bytes()) {
+        Ok(()) => {
+            println!("wrote {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("error: could not write JSON report {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+/// Flush the supervisor's own Chrome trace (attempt spans, retry /
+/// quarantine / resume / checkpoint instants) next to the manifest.
+fn write_supervisor_trace(sup: &mut Supervisor, opts: &ExpOptions) {
+    let trace = sup.take_trace();
+    let path = opts.checkpoint_dir().join("supervisor.json");
+    let doc = ompvar_obs::chrome_trace(&trace, &[], "ompvar-supervisor");
+    if let Err(e) = atomic_write(&path, doc.as_bytes()) {
+        eprintln!("warning: could not write supervisor trace {}: {e}", path.display());
+    }
+}
+
 fn main() -> ExitCode {
+    install_sigint_handler();
     let mut opts = ExpOptions::default();
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -107,6 +184,22 @@ fn main() -> ExitCode {
             "--report-json" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.report_json = Some(v.into());
+            }
+            "--resume" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.resume = Some(v.into());
+            }
+            "--max-retries" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.max_retries = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--stability-cov" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let x: f64 = v.parse().unwrap_or_else(|_| usage());
+                if !x.is_finite() || x <= 0.0 {
+                    usage();
+                }
+                opts.stability_cov = Some(x);
             }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
@@ -140,11 +233,79 @@ fn main() -> ExitCode {
         }
         seen
     };
+
+    // The campaign supervisor and its checkpoint manifest. A resumed
+    // campaign must describe the same work: seed, mode and target list
+    // are validated against the manifest header.
+    let header = Header {
+        seed: opts.seed,
+        fast: opts.fast,
+        targets: names.iter().map(|s| s.to_string()).collect(),
+    };
+    let manifest_path = opts.checkpoint_dir().join("manifest.jsonl");
+    let manifest = if opts.resume.is_some() {
+        match Manifest::open_resume(&manifest_path, &header) {
+            Ok(m) => {
+                println!(
+                    "resuming from {} ({} completed experiment(s))",
+                    manifest_path.display(),
+                    m.entries().len()
+                );
+                Some(m)
+            }
+            Err(e) => {
+                eprintln!("error: cannot resume from {}: {e}", manifest_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match Manifest::create(&manifest_path, header) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!(
+                    "warning: no checkpoint manifest at {}: {e}; running unjournaled",
+                    manifest_path.display()
+                );
+                None
+            }
+        }
+    };
+    let mut sup = Supervisor::new(SupervisorConfig {
+        seed: opts.seed,
+        max_retries: opts.max_retries.unwrap_or(2),
+        sleep: true,
+        ..SupervisorConfig::default()
+    });
+    if let Some(m) = manifest {
+        sup = sup.with_manifest(m);
+    }
+
     let mut all_ok = true;
     let mut reports = Vec::new();
     for name in names {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            eprintln!("interrupted: flushing partial report and checkpoint manifest");
+            write_supervisor_trace(&mut sup, &opts);
+            write_report(&opts, true, &reports);
+            std::process::exit(130);
+        }
         let t0 = std::time::Instant::now();
-        let report = run_isolated(name, &opts);
+        let outcome = sup.supervise(name, |n| attempt(name, &opts, n));
+        let (report, note) = match outcome {
+            Outcome::Completed { value, attempts, from_checkpoint, .. } => {
+                let note = if from_checkpoint {
+                    " [replayed from checkpoint]".to_string()
+                } else if attempts > 1 {
+                    format!(" [recovered after {attempts} attempts]")
+                } else {
+                    String::new()
+                };
+                (value, note)
+            }
+            Outcome::Quarantined { retries, .. } => {
+                (quarantine_report(name, &retries), " [quarantined]".to_string())
+            }
+        };
         print!("{}", report.render());
         match report.write_csvs(&opts.out_dir) {
             Ok(paths) => {
@@ -154,23 +315,17 @@ fn main() -> ExitCode {
             }
             Err(e) => eprintln!("warning: could not write CSVs: {e}"),
         }
-        println!("({name} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+        println!("({name} took {:.1}s{note})\n", t0.elapsed().as_secs_f64());
         all_ok &= report.all_passed();
         reports.push(report);
     }
-    if let Some(path) = &opts.report_json {
-        let doc = common::run_report_json(opts.seed, opts.fast, &reports);
-        if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        match std::fs::write(path, doc) {
-            Ok(()) => println!("wrote {}", path.display()),
-            Err(e) => {
-                eprintln!("error: could not write JSON report {}: {e}", path.display());
-                all_ok = false;
-            }
-        }
+    write_supervisor_trace(&mut sup, &opts);
+    if INTERRUPTED.load(Ordering::SeqCst) {
+        eprintln!("interrupted: flushing partial report and checkpoint manifest");
+        write_report(&opts, true, &reports);
+        std::process::exit(130);
     }
+    all_ok &= write_report(&opts, false, &reports);
     if all_ok {
         ExitCode::SUCCESS
     } else {

@@ -5,6 +5,7 @@ use ompvar_rt::config::RtConfig;
 use ompvar_rt::simrt::{FreqLoggerCfg, SimRuntime};
 
 use ompvar_core::Table;
+use ompvar_obs::json::Value;
 use ompvar_topology::{MachineSpec, NumaId, Places, ProcBind};
 use std::path::PathBuf;
 
@@ -137,6 +138,16 @@ pub struct ExpOptions {
     /// Machine-readable JSON run-report path (`--report-json`); `None`
     /// writes no report.
     pub report_json: Option<PathBuf>,
+    /// Retry budget per experiment for transient failures
+    /// (`--max-retries`); `None` uses the supervisor default.
+    pub max_retries: Option<u32>,
+    /// Stability target for adaptive re-measurement
+    /// (`--stability-cov`); `None` uses the policy default.
+    pub stability_cov: Option<f64>,
+    /// Resume a previous campaign from its checkpoint directory
+    /// (`--resume DIR`): completed experiments replay from the manifest
+    /// instead of re-running.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -148,6 +159,9 @@ impl Default for ExpOptions {
             fuzz_cases: None,
             trace_path: None,
             report_json: None,
+            max_retries: None,
+            stability_cov: None,
+            resume: None,
         }
     }
 }
@@ -186,6 +200,15 @@ impl ExpOptions {
         } else {
             100
         }
+    }
+
+    /// Where this run's checkpoint manifest and supervisor artifacts
+    /// live: the `--resume` directory when given, else
+    /// `<out_dir>/checkpoint`.
+    pub fn checkpoint_dir(&self) -> PathBuf {
+        self.resume
+            .clone()
+            .unwrap_or_else(|| self.out_dir.join("checkpoint"))
     }
 }
 
@@ -267,11 +290,13 @@ impl ExpReport {
 /// string escaped via [`ompvar_obs::json::escape`], so the output is
 /// byte-reproducible for a given run and parses with
 /// [`ompvar_obs::json::parse`].
-pub fn run_report_json(seed: u64, fast: bool, reports: &[ExpReport]) -> String {
+pub fn run_report_json(seed: u64, fast: bool, interrupted: bool, reports: &[ExpReport]) -> String {
     use ompvar_obs::json::escape;
     let mut out = String::new();
     out.push_str("{\"schema\":\"ompvar-run-report/1\",");
-    out.push_str(&format!("\"seed\":{seed},\"fast\":{fast},"));
+    out.push_str(&format!(
+        "\"seed\":{seed},\"fast\":{fast},\"interrupted\":{interrupted},"
+    ));
     let all = reports.iter().all(ExpReport::all_passed);
     out.push_str(&format!("\"all_passed\":{all},\"experiments\":["));
     for (i, rep) in reports.iter().enumerate() {
@@ -322,6 +347,78 @@ pub fn run_report_json(seed: u64, fast: bool, reports: &[ExpReport]) -> String {
     }
     out.push_str("\n]}\n");
     out
+}
+
+/// An [`ExpReport`] can live in the checkpoint manifest: the whole
+/// report — tables cell-for-cell, checks verbatim — is the payload, so a
+/// resumed campaign replays it and the final `--report-json` document is
+/// byte-identical to an uninterrupted run's.
+impl ompvar_supervisor::Checkpointable for ExpReport {
+    fn to_ckpt(&self) -> Value {
+        let str_arr = |xs: &[String]| {
+            Value::Arr(xs.iter().map(|s| Value::Str(s.clone())).collect())
+        };
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                Value::Obj(vec![
+                    ("title".into(), Value::Str(t.title().to_string())),
+                    ("header".into(), str_arr(t.header())),
+                    (
+                        "rows".into(),
+                        Value::Arr(t.rows().iter().map(|r| str_arr(r)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let checks = self
+            .checks
+            .iter()
+            .map(|c| {
+                Value::Obj(vec![
+                    ("name".into(), Value::Str(c.name.clone())),
+                    ("passed".into(), Value::Bool(c.passed)),
+                    ("detail".into(), Value::Str(c.detail.clone())),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("tables".into(), Value::Arr(tables)),
+            ("checks".into(), Value::Arr(checks)),
+        ])
+    }
+
+    fn from_ckpt(v: &Value) -> Option<ExpReport> {
+        let strings = |v: &Value| -> Option<Vec<String>> {
+            v.as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect()
+        };
+        let name = v.get("name")?.as_str()?.to_string();
+        let mut tables = Vec::new();
+        for t in v.get("tables")?.as_arr()? {
+            let title = t.get("title")?.as_str()?;
+            let header = strings(t.get("header")?)?;
+            let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+            let mut table = Table::new(title, &header_refs);
+            for row in t.get("rows")?.as_arr()? {
+                table.row(&strings(row)?);
+            }
+            tables.push(table);
+        }
+        let mut checks = Vec::new();
+        for c in v.get("checks")?.as_arr()? {
+            checks.push(Check {
+                name: c.get("name")?.as_str()?.to_string(),
+                passed: c.get("passed")?.as_bool()?,
+                detail: c.get("detail")?.as_str()?.to_string(),
+            });
+        }
+        Some(ExpReport { name, tables, checks })
+    }
 }
 
 #[cfg(test)]
@@ -391,10 +488,11 @@ mod tests {
             checks: vec![Check::new("c", true, "d \\ e".into())],
         };
         let reps = std::slice::from_ref(&rep);
-        let doc = run_report_json(7, true, reps);
-        assert_eq!(doc, run_report_json(7, true, reps), "not reproducible");
+        let doc = run_report_json(7, true, false, reps);
+        assert_eq!(doc, run_report_json(7, true, false, reps), "not reproducible");
         let v = parse(&doc).expect("valid JSON");
         assert_eq!(v.get("seed").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("interrupted").and_then(Value::as_bool), Some(false));
         assert_eq!(v.get("all_passed").and_then(Value::as_bool), Some(true));
         let exps = v.get("experiments").and_then(Value::as_arr).unwrap();
         assert_eq!(exps.len(), 1);
@@ -408,5 +506,40 @@ mod tests {
         assert_eq!(rows[0].as_arr().unwrap()[1].as_str(), Some("x\ny"));
         let checks = exps[0].get("checks").and_then(Value::as_arr).unwrap();
         assert_eq!(checks[0].get("detail").and_then(Value::as_str), Some("d \\ e"));
+    }
+
+    #[test]
+    fn exp_report_checkpoints_roundtrip_exactly() {
+        use ompvar_supervisor::Checkpointable;
+        let mut t = Table::new("T \"q\"", &["col a", "col b"]);
+        t.row(&["1.25".into(), "x\ny".into()]);
+        let rep = ExpReport {
+            name: "faults".into(),
+            tables: vec![t],
+            checks: vec![Check::new("c", false, "d \\ e".into())],
+        };
+        // Through the manifest's own serialization layer: to JSON text
+        // and back, not just Value-to-Value.
+        let text = ompvar_obs::json::write(&rep.to_ckpt());
+        let back =
+            ExpReport::from_ckpt(&ompvar_obs::json::parse(&text).unwrap()).expect("parses");
+        assert_eq!(back.name, rep.name);
+        assert_eq!(back.tables[0].title(), rep.tables[0].title());
+        assert_eq!(back.tables[0].rows(), rep.tables[0].rows());
+        assert_eq!(back.checks[0].detail, rep.checks[0].detail);
+        assert!(!back.checks[0].passed);
+        // The replayed report renders to identical JSON.
+        assert_eq!(
+            run_report_json(1, true, false, &[back]),
+            run_report_json(1, true, false, &[rep])
+        );
+    }
+
+    #[test]
+    fn checkpoint_dir_prefers_resume() {
+        let mut o = ExpOptions::fast();
+        assert_eq!(o.checkpoint_dir(), PathBuf::from("results/checkpoint"));
+        o.resume = Some(PathBuf::from("/tmp/prev"));
+        assert_eq!(o.checkpoint_dir(), PathBuf::from("/tmp/prev"));
     }
 }

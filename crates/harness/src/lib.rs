@@ -21,3 +21,4 @@ pub mod chunks;
 pub mod faults_exp;
 pub mod fuzz_exp;
 pub mod trace_exp;
+pub mod campaign_exp;

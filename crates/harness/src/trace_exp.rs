@@ -94,7 +94,12 @@ fn trace_checks(checks: &mut Vec<Check>, backend: &str, trace: &Trace, n_threads
             Err(errs) => format!("{} violation(s), first: {}", errs.len(), errs[0]),
         },
     ));
-    let missing: Vec<&str> = SpanKind::ALL
+    let constructs: Vec<SpanKind> = SpanKind::ALL
+        .iter()
+        .copied()
+        .filter(|k| k.is_construct())
+        .collect();
+    let missing: Vec<&str> = constructs
         .iter()
         .filter(|k| trace.count_of(**k) == 0)
         .map(|k| k.name())
@@ -105,7 +110,7 @@ fn trace_checks(checks: &mut Vec<Check>, backend: &str, trace: &Trace, n_threads
         if missing.is_empty() {
             format!(
                 "all {} kinds present, {} region span(s)",
-                SpanKind::ALL.len(),
+                constructs.len(),
                 trace.count_of(SpanKind::Region)
             )
         } else {

@@ -216,6 +216,178 @@ fn report_json_captures_non_trace_experiments() {
     std::fs::remove_dir_all(&out_dir).ok();
 }
 
+/// Poll until `path` holds at least `lines` newline-terminated lines
+/// (the checkpoint manifest grows one line per completed experiment).
+fn wait_for_lines(path: &std::path::Path, lines: usize) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let n = std::fs::read_to_string(path)
+            .map(|s| s.lines().count())
+            .unwrap_or(0);
+        if n >= lines {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{} never reached {lines} line(s)",
+            path.display()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// No `.tmp` staging residue anywhere under `dir` (atomic writes either
+/// complete or clean up).
+fn assert_no_tmp_residue(dir: &std::path::Path) {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&d) else { continue };
+        for e in rd.filter_map(Result::ok) {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                assert!(
+                    !p.file_name().unwrap().to_string_lossy().ends_with(".tmp"),
+                    "staging residue: {}",
+                    p.display()
+                );
+            }
+        }
+    }
+}
+
+/// The tentpole end to end: a campaign killed with SIGKILL after its
+/// first checkpointed experiment resumes with `--resume` and produces a
+/// `--report-json` document byte-identical to an uninterrupted run's.
+/// Also the satellite-1 regression: the kill must leave no half-written
+/// report and no temp-file residue.
+#[test]
+fn kill_then_resume_reproduces_report_byte_for_byte() {
+    let base = std::env::temp_dir().join("ompvar_cli_resume");
+    std::fs::remove_dir_all(&base).ok();
+    let targets = ["fig2", "table2"];
+
+    // Uninterrupted reference.
+    let ref_dir = base.join("ref");
+    let ref_json = base.join("ref.json");
+    let out = repro()
+        .args(["--fast", "--seed", "3", "--out"])
+        .arg(&ref_dir)
+        .arg("--report-json")
+        .arg(&ref_json)
+        .args(targets)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Same campaign, killed right after the first experiment checkpoints.
+    let kill_dir = base.join("kill");
+    let kill_json = base.join("kill.json");
+    let mut child = repro()
+        .args(["--fast", "--seed", "3", "--out"])
+        .arg(&kill_dir)
+        .arg("--report-json")
+        .arg(&kill_json)
+        .args(targets)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    let manifest = kill_dir.join("checkpoint").join("manifest.jsonl");
+    // Header + first unit entry.
+    wait_for_lines(&manifest, 2);
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reaped");
+    // The kill left either no report or a complete one — never a torn
+    // file — and no staging residue.
+    assert!(!kill_json.exists(), "report must not exist before the run completes");
+    assert_no_tmp_residue(&base);
+
+    // Resume: the journaled experiment replays, the rest re-runs.
+    let out = repro()
+        .args(["--fast", "--seed", "3", "--out"])
+        .arg(&kill_dir)
+        .arg("--report-json")
+        .arg(&kill_json)
+        .arg("--resume")
+        .arg(kill_dir.join("checkpoint"))
+        .args(targets)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("replayed from checkpoint"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&ref_json).expect("reference report"),
+        std::fs::read(&kill_json).expect("resumed report"),
+        "resumed run report differs from uninterrupted run"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Resuming against a manifest from a different campaign (other seed,
+/// mode, or target list) is rejected up front, not silently mixed in.
+#[test]
+fn resume_rejects_mismatched_campaign() {
+    let base = std::env::temp_dir().join("ompvar_cli_resume_mismatch");
+    std::fs::remove_dir_all(&base).ok();
+    let out = repro()
+        .args(["--fast", "--seed", "3", "--out"])
+        .arg(&base)
+        .arg("fig2")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let out = repro()
+        .args(["--fast", "--seed", "4", "--out"])
+        .arg(&base)
+        .arg("--resume")
+        .arg(base.join("checkpoint"))
+        .arg("fig2")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot resume"), "{stderr}");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Ctrl-C between experiments flushes a partial run report marked
+/// `"interrupted": true` and exits with the conventional 130; the
+/// checkpoint manifest keeps every experiment completed so far.
+#[test]
+fn sigint_flushes_partial_report_and_exits_130() {
+    let base = std::env::temp_dir().join("ompvar_cli_sigint");
+    std::fs::remove_dir_all(&base).ok();
+    let report = base.join("partial.json");
+    let mut child = repro()
+        .args(["--fast", "--seed", "3", "--out"])
+        .arg(&base)
+        .arg("--report-json")
+        .arg(&report)
+        .args(["fig2", "table2", "fig3", "fig4"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    wait_for_lines(&base.join("checkpoint").join("manifest.jsonl"), 2);
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let status = child.wait().expect("reaped");
+    assert_eq!(status.code(), Some(130), "{status:?}");
+    let v = parse(&std::fs::read_to_string(&report).expect("partial report written"))
+        .expect("partial report parses");
+    assert_eq!(v.get("interrupted").and_then(Value::as_bool), Some(true));
+    let exps = v.get("experiments").and_then(Value::as_arr).expect("array");
+    assert!(!exps.is_empty(), "at least the first experiment is in the partial report");
+    assert!(exps.len() < 4, "the sweep must have stopped early");
+    std::fs::remove_dir_all(&base).ok();
+}
+
 /// The fuzz experiment honors `--fuzz-cases` and passes on a small
 /// fixed-seed campaign.
 #[test]

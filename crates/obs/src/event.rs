@@ -25,11 +25,14 @@ pub enum SpanKind {
     Ordered,
     /// One explicit task's execution (steal to completion).
     Task,
+    /// One supervised attempt of a campaign unit (supervisor timeline,
+    /// not a runtime construct — see [`SpanKind::is_construct`]).
+    Attempt,
 }
 
 impl SpanKind {
     /// Every kind, in display order.
-    pub const ALL: [SpanKind; 8] = [
+    pub const ALL: [SpanKind; 9] = [
         SpanKind::Region,
         SpanKind::Workshare,
         SpanKind::Chunk,
@@ -38,6 +41,7 @@ impl SpanKind {
         SpanKind::Critical,
         SpanKind::Ordered,
         SpanKind::Task,
+        SpanKind::Attempt,
     ];
 
     /// Stable lower-case name; also the Chrome trace-event name.
@@ -51,12 +55,21 @@ impl SpanKind {
             SpanKind::Critical => "critical",
             SpanKind::Ordered => "ordered",
             SpanKind::Task => "task",
+            SpanKind::Attempt => "attempt",
         }
     }
 
     /// Dense index into per-kind arrays (`0..SpanKind::ALL.len()`).
     pub const fn index(self) -> usize {
         self as usize
+    }
+
+    /// Whether this kind is emitted by the runtime backends (an OpenMP
+    /// construct). [`SpanKind::Attempt`] lives on the campaign
+    /// supervisor's timeline instead, so backend-coverage checks must
+    /// not demand it.
+    pub const fn is_construct(self) -> bool {
+        !matches!(self, SpanKind::Attempt)
     }
 }
 
@@ -69,14 +82,29 @@ pub enum InstantKind {
     FaultInjection,
     /// The DVFS governor retargeted a socket frequency.
     FreqRetarget,
+    /// The campaign supervisor scheduled a retry of a failed unit
+    /// (after a classified-transient failure).
+    SupervisorRetry,
+    /// The campaign supervisor quarantined a unit (permanent failure or
+    /// exhausted retry budget).
+    SupervisorQuarantine,
+    /// The campaign supervisor replayed a completed unit from the
+    /// checkpoint manifest instead of re-running it.
+    SupervisorResume,
+    /// The campaign supervisor flushed the checkpoint manifest.
+    SupervisorCheckpoint,
 }
 
 impl InstantKind {
     /// Every kind, in display order.
-    pub const ALL: [InstantKind; 3] = [
+    pub const ALL: [InstantKind; 7] = [
         InstantKind::NoisePreemption,
         InstantKind::FaultInjection,
         InstantKind::FreqRetarget,
+        InstantKind::SupervisorRetry,
+        InstantKind::SupervisorQuarantine,
+        InstantKind::SupervisorResume,
+        InstantKind::SupervisorCheckpoint,
     ];
 
     /// Stable lower-case name; also the Chrome trace-event name.
@@ -85,6 +113,10 @@ impl InstantKind {
             InstantKind::NoisePreemption => "noise_preemption",
             InstantKind::FaultInjection => "fault_injection",
             InstantKind::FreqRetarget => "freq_retarget",
+            InstantKind::SupervisorRetry => "supervisor_retry",
+            InstantKind::SupervisorQuarantine => "supervisor_quarantine",
+            InstantKind::SupervisorResume => "supervisor_resume",
+            InstantKind::SupervisorCheckpoint => "supervisor_checkpoint",
         }
     }
 }

@@ -87,6 +87,37 @@ impl Value {
     }
 }
 
+/// Serialize a [`Value`] back to compact JSON. Numbers print with f64's
+/// shortest-roundtrip `Debug` form (integral values get a `.0`), so
+/// `parse(&write(&v))` reproduces `v` exactly; objects keep their field
+/// order, making the output stable for a given value.
+pub fn write(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => {
+            if n.is_finite() {
+                format!("{n:?}")
+            } else {
+                // JSON has no NaN/Inf; null is the conventional fallback.
+                "null".to_string()
+            }
+        }
+        Value::Str(s) => format!("\"{}\"", escape(s)),
+        Value::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(write).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", escape(k), write(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
 /// A parse failure: byte offset and a short message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -326,6 +357,18 @@ mod tests {
         assert!(parse("{\"a\":1} extra").is_err());
         assert!(parse("nulL").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn write_roundtrips_through_parse() {
+        let doc = r#"{"a":[1,2.5,-300.0],"b":{"c":true,"d":null},"e":"f\"g\n"}"#;
+        let v = parse(doc).unwrap();
+        let out = write(&v);
+        assert_eq!(parse(&out).unwrap(), v);
+        // Stable: writing twice gives identical bytes.
+        assert_eq!(out, write(&v));
+        // Non-finite numbers degrade to null instead of invalid JSON.
+        assert_eq!(write(&Value::Num(f64::NAN)), "null");
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //! 7. both backends' span traces are structurally well-formed — every
 //!    begin matched by an end of the same kind, LIFO nesting per thread,
 //!    per-thread time monotone, exactly one region span per team thread
-//!    (trace well-formedness oracle).
+//!    (trace well-formedness oracle);
+//! 8. every backend error classifies cleanly under the supervisor's
+//!    retry taxonomy ([`ompvar_supervisor::classify`]): its
+//!    transient/permanent name round-trips, and it is never *permanent*
+//!    for a program that already validated — a permanent classification
+//!    means a structural error escaped `validate()` or the taxonomy
+//!    drifted (classification-totality oracle).
 
 use ompvar_rt::native::NativeRuntime;
 use ompvar_rt::region::RegionSpec;
@@ -81,6 +87,29 @@ fn check_trace(
     }
 }
 
+/// Classification-totality oracle (#8). The match in
+/// [`ompvar_supervisor::classify`] is exhaustive, so new error variants
+/// are a *compile* error there; this guards the runtime half of the
+/// contract: the class name must round-trip through the checkpoint
+/// vocabulary, and a program that passed `validate()` must never produce
+/// a *permanently*-classified error — permanent is reserved for
+/// structural failures, which validation already rejected.
+fn check_classification(reasons: &mut Vec<String>, backend: &str, err: &ompvar_rt::RtError) {
+    let class = ompvar_supervisor::classify(err);
+    if ompvar_supervisor::Transience::from_name(class.name()).is_none() {
+        reasons.push(format!(
+            "{backend} error {err} classifies as unregistered class {:?} (taxonomy drift)",
+            class.name()
+        ));
+    }
+    if class == ompvar_supervisor::Transience::Permanent {
+        reasons.push(format!(
+            "{backend} error on a validated program classifies as permanent: {err} \
+             (structural failure escaped validation, or the retry taxonomy drifted)"
+        ));
+    }
+}
+
 /// Check one violation category, pushing a reason string on mismatch.
 fn expect_eq(
     reasons: &mut Vec<String>,
@@ -122,6 +151,7 @@ pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
         }
         (Err(e), _) | (_, Err(e)) => {
             reasons.push(format!("sim backend failed: {e}"));
+            check_classification(&mut reasons, "sim", &e);
             None
         }
     };
@@ -147,6 +177,7 @@ pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
         }
         Err(e) => {
             reasons.push(format!("native backend failed: {e}"));
+            check_classification(&mut reasons, "native", &e);
             None
         }
     };
@@ -199,6 +230,34 @@ mod tests {
         .expect("region is valid");
         let reasons = check_case(&region, 7);
         assert!(reasons.is_empty(), "{reasons:#?}");
+    }
+
+    #[test]
+    fn classification_oracle_accepts_transient_rejects_permanent() {
+        use ompvar_rt::region::RegionError;
+        use ompvar_rt::RtError;
+        // A timeout is transient: the oracle records nothing beyond the
+        // backend-failure reason itself.
+        let mut reasons = Vec::new();
+        check_classification(
+            &mut reasons,
+            "sim",
+            &RtError::Timeout {
+                construct: "barrier",
+                deadline: std::time::Duration::from_secs(1),
+            },
+        );
+        assert!(reasons.is_empty(), "{reasons:?}");
+        // A validation error surfacing from a backend at run time is
+        // permanent — on a validated program that is taxonomy drift.
+        let mut reasons = Vec::new();
+        check_classification(
+            &mut reasons,
+            "native",
+            &RtError::InvalidRegion(RegionError::ZeroThreads),
+        );
+        assert_eq!(reasons.len(), 1);
+        assert!(reasons[0].contains("permanent"), "{reasons:?}");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Adaptive re-measurement: spend extra repetitions where variance lives.
+//!
+//! Long variability campaigns waste budget measuring stable cells to the
+//! same depth as unstable ones. This module implements the opposite
+//! policy: after the base repetitions, compute the dispersion of each
+//! cell (coefficient of variation and the p99/p50 tail ratio) and keep
+//! scheduling extra repetitions for cells that exceed the stability
+//! target, up to a hard cap. The extra count is recorded so run reports
+//! can show exactly where the budget went.
+
+use ompvar_core::{percentile, Summary};
+
+/// When is a cell "stable enough"?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilityPolicy {
+    /// A cell is stable once its coefficient of variation is at or
+    /// below this.
+    pub target_cov: f64,
+    /// Hard cap on extra repetitions per cell.
+    pub max_extra: usize,
+    /// Don't judge stability on fewer samples than this.
+    pub min_samples: usize,
+}
+
+impl Default for StabilityPolicy {
+    fn default() -> Self {
+        StabilityPolicy { target_cov: 0.05, max_extra: 16, min_samples: 3 }
+    }
+}
+
+/// Dispersion of one cell's samples: `(cov, p99_over_p50)`. Both are 0
+/// for samples of fewer than two points.
+pub fn dispersion(samples: &[f64]) -> (f64, f64) {
+    if samples.len() < 2 {
+        return (0.0, if samples.is_empty() { 0.0 } else { 1.0 });
+    }
+    let s = Summary::of(samples);
+    let p50 = percentile(samples, 50.0);
+    let p99 = percentile(samples, 99.0);
+    let tail = if p50 > 0.0 { p99 / p50 } else { 1.0 };
+    (s.cv, tail)
+}
+
+/// Outcome of [`stabilize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stabilized {
+    /// All samples: the base ones followed by the extras, in order.
+    pub samples: Vec<f64>,
+    /// Number of base samples (the prefix of `samples`).
+    pub base: usize,
+    /// Extra repetitions that were actually taken.
+    pub extra: usize,
+    /// Final coefficient of variation.
+    pub cov: f64,
+    /// Final p99/p50 tail ratio.
+    pub p99_over_p50: f64,
+    /// Whether the target was met (false = capped out still unstable).
+    pub stable: bool,
+}
+
+/// Grow `base_samples` with extra repetitions until the cell meets
+/// `policy` or the cap is hit. `more(i)` takes the i-th extra repetition
+/// (0-based) and returns its sample, or `None` to stop early (e.g. the
+/// repetition failed and the caller chose to degrade rather than abort).
+pub fn stabilize(
+    base_samples: Vec<f64>,
+    policy: &StabilityPolicy,
+    mut more: impl FnMut(usize) -> Option<f64>,
+) -> Stabilized {
+    let base = base_samples.len();
+    let mut samples = base_samples;
+    let mut extra = 0usize;
+    loop {
+        let (cov, tail) = dispersion(&samples);
+        let enough = samples.len() >= policy.min_samples;
+        let stable = enough && cov <= policy.target_cov;
+        if stable || extra >= policy.max_extra {
+            return Stabilized { samples, base, extra, cov, p99_over_p50: tail, stable };
+        }
+        match more(extra) {
+            Some(x) => {
+                samples.push(x);
+                extra += 1;
+            }
+            None => {
+                let (cov, tail) = dispersion(&samples);
+                let stable = samples.len() >= policy.min_samples && cov <= policy.target_cov;
+                return Stabilized { samples, base, extra, cov, p99_over_p50: tail, stable };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_cell_needs_no_extras() {
+        let out = stabilize(vec![1.0, 1.0, 1.0, 1.0], &StabilityPolicy::default(), |_| {
+            panic!("stable cell must not request extras")
+        });
+        assert_eq!(out.extra, 0);
+        assert!(out.stable);
+        assert_eq!(out.cov, 0.0);
+    }
+
+    #[test]
+    fn unstable_cell_converges_with_extras() {
+        // Noisy base (cov ≈ 0.47), then consistent extras pull cov down.
+        let policy = StabilityPolicy { target_cov: 0.2, max_extra: 64, min_samples: 3 };
+        let out = stabilize(vec![1.0, 2.0], &policy, |_| Some(1.5));
+        assert!(out.stable, "cov = {}", out.cov);
+        assert!(out.extra > 0);
+        assert_eq!(out.base, 2);
+        assert_eq!(out.samples.len(), 2 + out.extra);
+        assert!(out.cov <= 0.2);
+    }
+
+    #[test]
+    fn cap_bounds_the_extra_budget() {
+        // Alternating samples never converge; must stop at the cap.
+        let policy = StabilityPolicy { target_cov: 0.01, max_extra: 5, min_samples: 3 };
+        let mut flip = false;
+        let out = stabilize(vec![1.0, 3.0], &policy, |_| {
+            flip = !flip;
+            Some(if flip { 1.0 } else { 3.0 })
+        });
+        assert_eq!(out.extra, 5);
+        assert!(!out.stable);
+    }
+
+    #[test]
+    fn more_returning_none_degrades_gracefully() {
+        let policy = StabilityPolicy { target_cov: 0.001, max_extra: 100, min_samples: 3 };
+        let out = stabilize(vec![1.0, 2.0, 3.0], &policy, |i| if i < 2 { Some(2.0) } else { None });
+        assert_eq!(out.extra, 2);
+        assert!(!out.stable);
+        assert_eq!(out.samples.len(), 5);
+    }
+
+    #[test]
+    fn min_samples_forces_measurement_of_tiny_cells() {
+        // A single sample has cov 0 but must still be grown to
+        // min_samples before it can be declared stable.
+        let policy = StabilityPolicy { target_cov: 0.5, max_extra: 10, min_samples: 3 };
+        let out = stabilize(vec![1.0], &policy, |_| Some(1.0));
+        assert!(out.samples.len() >= 3);
+        assert!(out.stable);
+    }
+
+    #[test]
+    fn dispersion_tail_ratio() {
+        let (cov, tail) = dispersion(&[1.0, 1.0, 1.0, 1.0, 10.0]);
+        assert!(cov > 1.0);
+        assert!(tail > 5.0, "p99/p50 = {tail}");
+        assert_eq!(dispersion(&[]), (0.0, 0.0));
+        assert_eq!(dispersion(&[4.2]), (0.0, 1.0));
+    }
+}

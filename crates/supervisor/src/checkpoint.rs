@@ -1,0 +1,413 @@
+//! The `ompvar-checkpoint/1` manifest: a JSONL journal of completed
+//! campaign units, written atomically after every completion so a
+//! `kill -9` at any instant leaves a loadable manifest.
+//!
+//! Line 1 is the campaign header (seed, fast flag, target list); every
+//! further line is one finished unit — its status (`ok`/`quarantined`),
+//! attempt count, the retry ledger (error text, classification, backoff
+//! delay), and for successful units the checkpointed result payload that
+//! `--resume` replays instead of re-running the unit. Serialization goes
+//! through [`ompvar_obs::json`]; each append rewrites the whole file via
+//! temp-file+rename ([`crate::fsio::atomic_write`]) — manifests are a
+//! few KB, and atomicity beats append-throughput here.
+
+use crate::classify::Transience;
+use crate::fsio::atomic_write;
+use ompvar_obs::json::{self, Value};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest schema identifier, bumped on breaking format changes.
+pub const SCHEMA: &str = "ompvar-checkpoint/1";
+
+/// The campaign identity a manifest belongs to. On `--resume` the header
+/// must match the live invocation exactly — resuming a `--seed 1`
+/// campaign with `--seed 2` would splice incompatible results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Campaign base seed.
+    pub seed: u64,
+    /// Whether the campaign ran with reduced repetitions.
+    pub fast: bool,
+    /// Unit names, in execution order.
+    pub targets: Vec<String>,
+}
+
+/// One retry the supervisor performed before a unit finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryRecord {
+    /// Attempt that failed (0-based).
+    pub attempt: u32,
+    /// Rendered error.
+    pub error: String,
+    /// How the error classified.
+    pub transience: Transience,
+    /// Backoff slept before the next attempt (ms, 0 for permanent).
+    pub backoff_ms: u64,
+}
+
+/// Terminal state of a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitStatus {
+    /// Completed; `payload` holds the checkpointed result.
+    Ok,
+    /// Permanently failed or retry budget exhausted.
+    Quarantined,
+}
+
+impl UnitStatus {
+    /// Stable manifest name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            UnitStatus::Ok => "ok",
+            UnitStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// One completed (or quarantined) unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Unit name (experiment id, or `experiment/cell` for sub-units).
+    pub name: String,
+    /// Terminal state.
+    pub status: UnitStatus,
+    /// Attempts consumed (≥ 1).
+    pub attempts: u32,
+    /// Failures that preceded the terminal state.
+    pub retries: Vec<RetryRecord>,
+    /// Checkpointed result for `Ok` units (replayed on resume).
+    pub payload: Option<Value>,
+}
+
+/// Why a manifest could not be loaded for resume.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A line was not a valid manifest record.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// The manifest belongs to a different campaign (seed/fast/targets).
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint manifest I/O: {e}"),
+            CheckpointError::Parse { line, msg } => {
+                write!(f, "checkpoint manifest line {line}: {msg}")
+            }
+            CheckpointError::Mismatch(msg) => {
+                write!(f, "checkpoint manifest does not match this campaign: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn header_json(h: &Header) -> String {
+    let targets: Vec<String> = h
+        .targets
+        .iter()
+        .map(|t| format!("\"{}\"", json::escape(t)))
+        .collect();
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"kind\":\"campaign\",\"seed\":{},\"fast\":{},\"targets\":[{}]}}",
+        h.seed,
+        h.fast,
+        targets.join(",")
+    )
+}
+
+fn entry_json(e: &Entry) -> String {
+    let retries: Vec<String> = e
+        .retries
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"attempt\":{},\"error\":\"{}\",\"class\":\"{}\",\"backoff_ms\":{}}}",
+                r.attempt,
+                json::escape(&r.error),
+                r.transience.name(),
+                r.backoff_ms
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"kind\":\"unit\",\"name\":\"{}\",\"status\":\"{}\",\
+         \"attempts\":{},\"retries\":[{}],\"payload\":{}}}",
+        json::escape(&e.name),
+        e.status.name(),
+        e.attempts,
+        retries.join(","),
+        e.payload.as_ref().map_or_else(|| "null".to_string(), json::write),
+    )
+}
+
+fn u64_of(v: &Value, key: &str) -> Option<u64> {
+    let n = v.get(key)?.as_f64()?;
+    (n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64).then_some(n as u64)
+}
+
+fn header_from(v: &Value) -> Option<Header> {
+    if v.get("schema")?.as_str()? != SCHEMA || v.get("kind")?.as_str()? != "campaign" {
+        return None;
+    }
+    let targets = v
+        .get("targets")?
+        .as_arr()?
+        .iter()
+        .map(|t| t.as_str().map(str::to_string))
+        .collect::<Option<Vec<_>>>()?;
+    Some(Header {
+        seed: u64_of(v, "seed")?,
+        fast: v.get("fast")?.as_bool()?,
+        targets,
+    })
+}
+
+fn entry_from(v: &Value) -> Option<Entry> {
+    if v.get("schema")?.as_str()? != SCHEMA || v.get("kind")?.as_str()? != "unit" {
+        return None;
+    }
+    let status = match v.get("status")?.as_str()? {
+        "ok" => UnitStatus::Ok,
+        "quarantined" => UnitStatus::Quarantined,
+        _ => return None,
+    };
+    let retries = v
+        .get("retries")?
+        .as_arr()?
+        .iter()
+        .map(|r| {
+            Some(RetryRecord {
+                attempt: u64_of(r, "attempt")? as u32,
+                error: r.get("error")?.as_str()?.to_string(),
+                transience: Transience::from_name(r.get("class")?.as_str()?)?,
+                backoff_ms: u64_of(r, "backoff_ms")?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let payload = match v.get("payload")? {
+        Value::Null => None,
+        other => Some(other.clone()),
+    };
+    Some(Entry {
+        name: v.get("name")?.as_str()?.to_string(),
+        status,
+        attempts: u64_of(v, "attempts")? as u32,
+        retries,
+        payload,
+    })
+}
+
+/// A live manifest: the journal of one campaign run.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    header: Header,
+    entries: Vec<Entry>,
+}
+
+impl Manifest {
+    /// Start a fresh campaign manifest at `path` (truncating any
+    /// previous one) and persist the header line.
+    pub fn create(path: &Path, header: Header) -> io::Result<Manifest> {
+        let m = Manifest { path: path.to_path_buf(), header, entries: Vec::new() };
+        m.flush()?;
+        Ok(m)
+    }
+
+    /// Load an existing manifest for `--resume`, verifying it matches
+    /// the live campaign `expect`ation.
+    pub fn open_resume(path: &Path, expect: &Header) -> Result<Manifest, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (i, first) = lines.next().ok_or(CheckpointError::Parse {
+            line: 1,
+            msg: "empty manifest".to_string(),
+        })?;
+        let parse_line = |i: usize, l: &str| {
+            json::parse(l).map_err(|e| CheckpointError::Parse { line: i + 1, msg: e.to_string() })
+        };
+        let header = header_from(&parse_line(i, first)?).ok_or(CheckpointError::Parse {
+            line: i + 1,
+            msg: "first line is not an ompvar-checkpoint/1 campaign header".to_string(),
+        })?;
+        if header != *expect {
+            return Err(CheckpointError::Mismatch(format!(
+                "manifest is for seed {} fast {} targets {:?}; \
+                 this run is seed {} fast {} targets {:?}",
+                header.seed, header.fast, header.targets, expect.seed, expect.fast, expect.targets
+            )));
+        }
+        let mut entries = Vec::new();
+        for (i, l) in lines {
+            let v = parse_line(i, l)?;
+            let e = entry_from(&v).ok_or(CheckpointError::Parse {
+                line: i + 1,
+                msg: "line is not an ompvar-checkpoint/1 unit record".to_string(),
+            })?;
+            entries.push(e);
+        }
+        Ok(Manifest { path: path.to_path_buf(), header, entries })
+    }
+
+    /// Manifest location on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Campaign identity.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Entries journaled so far, in completion order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// The journaled terminal state of `name`, if it already finished.
+    pub fn completed(&self, name: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Journal one finished unit and flush the whole manifest
+    /// atomically.
+    pub fn append(&mut self, entry: Entry) -> io::Result<()> {
+        self.entries.push(entry);
+        self.flush()
+    }
+
+    /// Render the full JSONL document.
+    pub fn render(&self) -> String {
+        let mut out = header_json(&self.header);
+        out.push('\n');
+        for e in &self.entries {
+            out.push_str(&entry_json(e));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        atomic_write(&self.path, self.render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Header {
+        Header { seed: 7, fast: true, targets: vec!["faults".into(), "campaign".into()] }
+    }
+
+    fn entry(name: &str) -> Entry {
+        Entry {
+            name: name.to_string(),
+            status: UnitStatus::Ok,
+            attempts: 3,
+            retries: vec![RetryRecord {
+                attempt: 0,
+                error: "simulation deadlock at t=5ns: \"quoted\"".to_string(),
+                transience: Transience::Transient,
+                backoff_ms: 31,
+            }],
+            payload: Some(json::parse("{\"samples\":[1.5,2.25],\"n\":2}").unwrap()),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ompvar_ckpt_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("manifest.jsonl")
+    }
+
+    #[test]
+    fn roundtrips_header_entries_and_payload() {
+        let path = tmp("roundtrip");
+        let mut m = Manifest::create(&path, header()).unwrap();
+        m.append(entry("faults")).unwrap();
+        m.append(Entry {
+            name: "campaign".into(),
+            status: UnitStatus::Quarantined,
+            attempts: 4,
+            retries: vec![],
+            payload: None,
+        })
+        .unwrap();
+        let loaded = Manifest::open_resume(&path, &header()).unwrap();
+        assert_eq!(loaded.header(), &header());
+        assert_eq!(loaded.entries(), m.entries());
+        let f = loaded.completed("faults").unwrap();
+        assert_eq!(f.attempts, 3);
+        assert_eq!(f.retries[0].transience, Transience::Transient);
+        let p = f.payload.as_ref().unwrap();
+        assert_eq!(p.get("n").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(
+            p.get("samples").and_then(Value::as_arr).unwrap()[1].as_f64(),
+            Some(2.25)
+        );
+        assert!(loaded.completed("missing").is_none());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn every_line_is_independent_json() {
+        let path = tmp("jsonl");
+        let mut m = Manifest::create(&path, header()).unwrap();
+        m.append(entry("faults")).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for l in text.lines() {
+            let v = json::parse(l).expect("each line parses alone");
+            assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_campaign() {
+        let path = tmp("mismatch");
+        Manifest::create(&path, header()).unwrap();
+        let other = Header { seed: 8, ..header() };
+        match Manifest::open_resume(&path, &other) {
+            Err(CheckpointError::Mismatch(msg)) => {
+                assert!(msg.contains("seed 7"), "{msg}");
+                assert!(msg.contains("seed 8"), "{msg}");
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn resume_rejects_garbage_lines() {
+        let path = tmp("garbage");
+        let mut doc = header_json(&header());
+        doc.push_str("\nnot json\n");
+        std::fs::write(&path, doc).unwrap();
+        match Manifest::open_resume(&path, &header()) {
+            Err(CheckpointError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

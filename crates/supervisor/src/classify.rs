@@ -1,0 +1,170 @@
+//! Failure classification: the supervisor's transient/permanent split.
+//!
+//! Every error the runtime layers can produce maps onto exactly one
+//! [`Transience`]; the matches below are deliberately exhaustive (no
+//! wildcard arms), so adding a new error variant anywhere in the
+//! taxonomy is a compile error here until its retry policy is decided.
+//! The differential fuzzer holds the other end of the contract (oracle
+//! #8): a *valid* program must never produce a permanently-classified
+//! error on either backend — if it does, either the program slipped
+//! through validation or the classification table drifted.
+//!
+//! | error                         | class     | rationale                              |
+//! |-------------------------------|-----------|----------------------------------------|
+//! | `SimError::Deadlock`          | transient | injected lost wakeups / fault storms   |
+//! | `SimError::TimeLimitExceeded` | transient | timeout: noise storm may have passed   |
+//! | `SimError::EventBudgetExceeded` | transient | runaway-event backstop, same as above |
+//! | `SimError::ObjectTypeMismatch`| permanent | malformed program, retry cannot help   |
+//! | `RtError::Timeout`            | transient | native spin deadline, scheduler noise  |
+//! | `RtError::InvalidRegion`      | permanent | rejected before running                |
+//! | panic payload                 | transient | treated like a crash of the worker     |
+
+use ompvar_rt::region::RegionError;
+use ompvar_rt::RtError;
+use ompvar_sim::error::SimError;
+
+/// Whether a failure is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transience {
+    /// Environmental / injected: a retry (with a fresh attempt seed) may
+    /// succeed. Retried with backoff up to the per-unit budget.
+    Transient,
+    /// Structural: the unit can never succeed as specified. Quarantined
+    /// immediately, no retries.
+    Permanent,
+}
+
+impl Transience {
+    /// Stable lower-case name (used in checkpoint manifests).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Transience::Transient => "transient",
+            Transience::Permanent => "permanent",
+        }
+    }
+
+    /// Inverse of [`Transience::name`].
+    pub fn from_name(s: &str) -> Option<Transience> {
+        match s {
+            "transient" => Some(Transience::Transient),
+            "permanent" => Some(Transience::Permanent),
+            _ => None,
+        }
+    }
+}
+
+/// Classify a simulated-engine error.
+pub fn classify_sim(e: &SimError) -> Transience {
+    match e {
+        // A deadlock in a supervised campaign is assumed to come from an
+        // injected lost wakeup (the only way the validated programs we
+        // run can deadlock); the retry runs with a different attempt
+        // seed, under which the injection may not fire.
+        SimError::Deadlock { .. } => Transience::Transient,
+        SimError::TimeLimitExceeded { .. } => Transience::Transient,
+        SimError::EventBudgetExceeded { .. } => Transience::Transient,
+        SimError::ObjectTypeMismatch { .. } => Transience::Permanent,
+    }
+}
+
+/// Classify a region-validation error. Always permanent: validation is a
+/// pure function of the spec, so re-running cannot change the verdict.
+pub fn classify_region(e: &RegionError) -> Transience {
+    match e {
+        RegionError::ZeroThreads
+        | RegionError::ZeroCountRepeat
+        | RegionError::ZeroIterationLoop
+        | RegionError::ZeroChunk
+        | RegionError::InvalidWork { .. }
+        | RegionError::UnmatchedMark { .. }
+        | RegionError::RepeatedNowaitLoop => Transience::Permanent,
+    }
+}
+
+/// Classify a runtime error from either backend.
+pub fn classify(e: &RtError) -> Transience {
+    match e {
+        RtError::Sim(e) => classify_sim(e),
+        RtError::Timeout { .. } => Transience::Transient,
+        RtError::InvalidRegion(e) => classify_region(e),
+    }
+}
+
+/// Classify a caught panic payload. Panics are treated as worker crashes
+/// — transient, like a node falling over mid-run.
+pub fn classify_panic(_payload: &str) -> Transience {
+    Transience::Transient
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompvar_sim::trace::SimReport;
+    use std::time::Duration;
+
+    #[test]
+    fn timeouts_and_deadlocks_are_transient() {
+        assert_eq!(
+            classify(&RtError::Timeout {
+                construct: "barrier",
+                deadline: Duration::from_secs(1),
+            }),
+            Transience::Transient
+        );
+        assert_eq!(
+            classify_sim(&SimError::Deadlock { time: 0, blocked: vec![] }),
+            Transience::Transient
+        );
+        assert_eq!(
+            classify_sim(&SimError::TimeLimitExceeded {
+                limit: 10,
+                partial: Box::new(SimReport::default()),
+            }),
+            Transience::Transient
+        );
+        assert_eq!(
+            classify_sim(&SimError::EventBudgetExceeded {
+                budget: 10,
+                partial: Box::new(SimReport::default()),
+            }),
+            Transience::Transient
+        );
+        assert_eq!(classify_panic("index out of bounds"), Transience::Transient);
+    }
+
+    #[test]
+    fn structural_errors_are_permanent() {
+        assert_eq!(
+            classify(&RtError::InvalidRegion(RegionError::ZeroThreads)),
+            Transience::Permanent
+        );
+        assert_eq!(
+            classify_sim(&SimError::ObjectTypeMismatch {
+                op: "LockAcquire",
+                obj: ompvar_sim::task::ObjId(0),
+                expected: "lock",
+                found: "barrier",
+            }),
+            Transience::Permanent
+        );
+        for e in [
+            RegionError::ZeroThreads,
+            RegionError::ZeroCountRepeat,
+            RegionError::ZeroIterationLoop,
+            RegionError::ZeroChunk,
+            RegionError::InvalidWork { construct: "Tasks" },
+            RegionError::UnmatchedMark { id: 3 },
+            RegionError::RepeatedNowaitLoop,
+        ] {
+            assert_eq!(classify_region(&e), Transience::Permanent, "{e}");
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for t in [Transience::Transient, Transience::Permanent] {
+            assert_eq!(Transience::from_name(t.name()), Some(t));
+        }
+        assert_eq!(Transience::from_name("flaky"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Crash-safe file writes: temp file in the target directory + rename.
+//!
+//! A reader can never observe a half-written artifact: until the final
+//! `rename` the target keeps its previous content (or stays absent), and
+//! rename within one directory is atomic on POSIX filesystems. This is
+//! what the checkpoint manifest and the CLI's `--report-json` output go
+//! through, so a `kill -9` mid-write leaves either the old complete file
+//! or the new complete file — never a truncated one.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Write `contents` to `path` atomically. The parent directory is
+/// created on demand; the temp file lives next to the target (rename
+/// across filesystems is not atomic) and is removed on failure.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => {
+            fs::create_dir_all(d)?;
+            d.to_path_buf()
+        }
+        _ => std::path::PathBuf::from("."),
+    };
+    let stem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artifact");
+    // One temp name per process: concurrent *processes* don't collide,
+    // and a leftover from a killed run is simply overwritten next time.
+    let tmp = dir.join(format!(".{stem}.{}.tmp", std::process::id()));
+    let write_and_rename = (|| {
+        fs::write(&tmp, contents)?;
+        fs::rename(&tmp, path)
+    })();
+    if write_and_rename.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    write_and_rename
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ompvar_fsio_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces_without_tmp_residue() {
+        let d = tmpdir("ok");
+        let p = d.join("report.json");
+        atomic_write(&p, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"{\"v\":1}");
+        atomic_write(&p, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"{\"v\":2}");
+        // No temp files left behind.
+        let leftovers: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let d = tmpdir("mkdir");
+        let p = d.join("a/b/c.json");
+        atomic_write(&p, b"x").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"x");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    /// The regression the non-atomic `--report-json` path had: a failed
+    /// write must leave any pre-existing target byte-identical (here the
+    /// rename fails because the target is an occupied directory), and no
+    /// temp file may survive.
+    #[test]
+    fn failed_write_leaves_target_and_no_residue() {
+        let d = tmpdir("fail");
+        let target = d.join("report.json");
+        fs::create_dir_all(target.join("occupied")).unwrap();
+        assert!(atomic_write(&target, b"new").is_err());
+        assert!(target.join("occupied").exists(), "target untouched");
+        let leftovers: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&d);
+    }
+}

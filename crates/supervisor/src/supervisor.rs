@@ -1,0 +1,502 @@
+//! The campaign supervisor: retry, quarantine, checkpoint, resume.
+//!
+//! A campaign is a sequence of named *units* (experiments, or cells
+//! within one). [`Supervisor::supervise`] runs one unit to a terminal
+//! state: it calls the unit closure with an attempt number, classifies
+//! every failure as transient or permanent ([`crate::classify`]),
+//! retries transients after a seeded deterministic backoff
+//! ([`crate::backoff`]) up to the per-unit budget, and quarantines units
+//! that exhaust it or fail permanently. Each terminal state is journaled
+//! to the checkpoint manifest before the outcome is returned, so a crash
+//! at any instant loses at most the unit in flight; on resume, journaled
+//! units are replayed from their checkpointed payload instead of
+//! re-running.
+//!
+//! Everything the supervisor does is also a trace: each attempt is an
+//! [`SpanKind::Attempt`] span and every retry / quarantine / resume /
+//! checkpoint flush an instant event, on one timeline lane per unit —
+//! exported through the usual Chrome-trace pipeline so a campaign's
+//! recovery history is visible in Perfetto next to the runs themselves.
+
+use crate::backoff::{name_seed, Backoff, BackoffCfg};
+use crate::checkpoint::{Entry, Manifest, RetryRecord, UnitStatus};
+use crate::classify::Transience;
+use ompvar_obs::json::Value;
+use ompvar_obs::{EventKind, InstantKind, SpanKind, Trace, TraceEvent, CORE_UNKNOWN};
+use std::time::Instant;
+
+/// A result type that can live in the checkpoint manifest.
+pub trait Checkpointable: Sized {
+    /// Serialize into a manifest payload.
+    fn to_ckpt(&self) -> Value;
+    /// Rebuild from a manifest payload; `None` marks a corrupt/alien
+    /// payload (the unit then re-runs instead of replaying).
+    fn from_ckpt(v: &Value) -> Option<Self>;
+}
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Campaign seed: keys backoff jitter and attempt-seed derivation.
+    pub seed: u64,
+    /// Retries granted per unit after the first attempt.
+    pub max_retries: u32,
+    /// Backoff curve between attempts.
+    pub backoff: BackoffCfg,
+    /// Whether to actually sleep the backoff delays (tests disable this;
+    /// the schedule is recorded either way).
+    pub sleep: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            seed: 0,
+            max_retries: 2,
+            backoff: BackoffCfg::default(),
+            sleep: true,
+        }
+    }
+}
+
+/// One unit failure, already classified by the caller (who has the typed
+/// error in hand; the supervisor only needs the policy-relevant facts).
+#[derive(Debug, Clone)]
+pub struct UnitError {
+    /// Rendered error, journaled verbatim.
+    pub message: String,
+    /// Retry policy class.
+    pub transience: Transience,
+}
+
+impl UnitError {
+    /// Classify-and-wrap a runtime error.
+    pub fn from_rt(e: &ompvar_rt::RtError) -> UnitError {
+        UnitError { message: e.to_string(), transience: crate::classify::classify(e) }
+    }
+
+    /// Wrap a caught panic payload (transient by policy).
+    pub fn from_panic(msg: String) -> UnitError {
+        let transience = crate::classify::classify_panic(&msg);
+        UnitError { message: format!("panic: {msg}"), transience }
+    }
+}
+
+/// Terminal state of one supervised unit.
+#[derive(Debug)]
+pub enum Outcome<R> {
+    /// The unit produced a result.
+    Completed {
+        /// The unit's result (fresh or replayed).
+        value: R,
+        /// Attempts consumed (1 when it passed first try).
+        attempts: u32,
+        /// Retries that preceded success.
+        retries: Vec<RetryRecord>,
+        /// Whether the result was replayed from the checkpoint manifest.
+        from_checkpoint: bool,
+    },
+    /// The unit failed permanently or exhausted its retry budget.
+    Quarantined {
+        /// Attempts consumed.
+        attempts: u32,
+        /// Every failure, in order; the last one is terminal.
+        retries: Vec<RetryRecord>,
+        /// Whether the verdict was replayed from the manifest.
+        from_checkpoint: bool,
+    },
+}
+
+impl<R> Outcome<R> {
+    /// Attempts consumed either way.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            Outcome::Completed { attempts, .. } | Outcome::Quarantined { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+
+    /// Whether the outcome came from the checkpoint manifest.
+    pub fn from_checkpoint(&self) -> bool {
+        match self {
+            Outcome::Completed { from_checkpoint, .. }
+            | Outcome::Quarantined { from_checkpoint, .. } => *from_checkpoint,
+        }
+    }
+}
+
+/// The seed a unit should use for `attempt`. Attempt 0 uses the base
+/// seed unchanged — a never-retried supervised run is bit-identical to
+/// an unsupervised one — and each retry gets a decorrelated derivative.
+pub fn attempt_seed(base: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        base
+    } else {
+        let mut x = base ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+/// The campaign supervisor. See the module docs.
+#[derive(Debug)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    manifest: Option<Manifest>,
+    events: Vec<TraceEvent>,
+    t0: Instant,
+    lanes: u32,
+}
+
+impl Supervisor {
+    /// Supervisor without a checkpoint journal (in-memory campaigns,
+    /// tests).
+    pub fn new(cfg: SupervisorConfig) -> Supervisor {
+        Supervisor { cfg, manifest: None, events: Vec::new(), t0: Instant::now(), lanes: 0 }
+    }
+
+    /// Attach a checkpoint manifest: completions are journaled, and
+    /// units the manifest already holds are replayed.
+    pub fn with_manifest(mut self, manifest: Manifest) -> Supervisor {
+        self.manifest = Some(manifest);
+        self
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// The attached manifest, if any.
+    pub fn manifest(&self) -> Option<&Manifest> {
+        self.manifest.as_ref()
+    }
+
+    /// Nanoseconds since the supervisor started (its trace clock).
+    pub fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Drain the supervisor's own trace (attempt spans, retry /
+    /// quarantine / resume / checkpoint instants) for Chrome export.
+    pub fn take_trace(&mut self) -> Trace {
+        Trace::new(std::mem::take(&mut self.events))
+    }
+
+    fn emit(&mut self, lane: u32, kind: EventKind) {
+        let time_ns = self.now_ns();
+        self.events.push(TraceEvent { time_ns, thread: lane, core: CORE_UNKNOWN, kind });
+    }
+
+    fn journal(&mut self, lane: u32, entry: Entry) {
+        if let Some(m) = &mut self.manifest {
+            match m.append(entry) {
+                Ok(()) => self.emit(lane, EventKind::Instant(InstantKind::SupervisorCheckpoint)),
+                // Journaling is best-effort: losing the checkpoint must
+                // not fail the campaign, only its resumability.
+                Err(e) => eprintln!(
+                    "warning: could not flush checkpoint manifest {}: {e}",
+                    m.path().display()
+                ),
+            }
+        }
+    }
+
+    /// Run `name` to a terminal state. `run` is invoked with the attempt
+    /// number (0-based); derive per-attempt seeds with [`attempt_seed`].
+    pub fn supervise<R: Checkpointable>(
+        &mut self,
+        name: &str,
+        mut run: impl FnMut(u32) -> Result<R, UnitError>,
+    ) -> Outcome<R> {
+        let lane = self.lanes;
+        self.lanes += 1;
+
+        // Resume path: replay a journaled terminal state.
+        if let Some(entry) = self.manifest.as_ref().and_then(|m| m.completed(name)) {
+            let entry = entry.clone();
+            match entry.status {
+                UnitStatus::Ok => {
+                    if let Some(value) = entry.payload.as_ref().and_then(R::from_ckpt) {
+                        self.emit(lane, EventKind::Instant(InstantKind::SupervisorResume));
+                        return Outcome::Completed {
+                            value,
+                            attempts: entry.attempts,
+                            retries: entry.retries,
+                            from_checkpoint: true,
+                        };
+                    }
+                    eprintln!(
+                        "warning: checkpoint payload for {name} is unreadable; re-running"
+                    );
+                }
+                UnitStatus::Quarantined => {
+                    self.emit(lane, EventKind::Instant(InstantKind::SupervisorResume));
+                    return Outcome::Quarantined {
+                        attempts: entry.attempts,
+                        retries: entry.retries,
+                        from_checkpoint: true,
+                    };
+                }
+            }
+        }
+
+        let backoff = Backoff::new(self.cfg.backoff, self.cfg.seed ^ name_seed(name));
+        let mut retries: Vec<RetryRecord> = Vec::new();
+        let mut attempt: u32 = 0;
+        loop {
+            self.emit(lane, EventKind::Begin(SpanKind::Attempt));
+            let result = run(attempt);
+            self.emit(lane, EventKind::End(SpanKind::Attempt));
+            match result {
+                Ok(value) => {
+                    self.journal(
+                        lane,
+                        Entry {
+                            name: name.to_string(),
+                            status: UnitStatus::Ok,
+                            attempts: attempt + 1,
+                            retries: retries.clone(),
+                            payload: Some(value.to_ckpt()),
+                        },
+                    );
+                    return Outcome::Completed {
+                        value,
+                        attempts: attempt + 1,
+                        retries,
+                        from_checkpoint: false,
+                    };
+                }
+                Err(err) => {
+                    let retryable =
+                        err.transience == Transience::Transient && attempt < self.cfg.max_retries;
+                    if retryable {
+                        let backoff_ms = backoff.delay_ms(attempt);
+                        retries.push(RetryRecord {
+                            attempt,
+                            error: err.message,
+                            transience: err.transience,
+                            backoff_ms,
+                        });
+                        self.emit(lane, EventKind::Instant(InstantKind::SupervisorRetry));
+                        if self.cfg.sleep {
+                            std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                        }
+                        attempt += 1;
+                    } else {
+                        retries.push(RetryRecord {
+                            attempt,
+                            error: err.message,
+                            transience: err.transience,
+                            backoff_ms: 0,
+                        });
+                        self.emit(lane, EventKind::Instant(InstantKind::SupervisorQuarantine));
+                        self.journal(
+                            lane,
+                            Entry {
+                                name: name.to_string(),
+                                status: UnitStatus::Quarantined,
+                                attempts: attempt + 1,
+                                retries: retries.clone(),
+                                payload: None,
+                            },
+                        );
+                        return Outcome::Quarantined {
+                            attempts: attempt + 1,
+                            retries,
+                            from_checkpoint: false,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Header;
+    use ompvar_obs::json;
+
+    impl Checkpointable for f64 {
+        fn to_ckpt(&self) -> Value {
+            Value::Num(*self)
+        }
+        fn from_ckpt(v: &Value) -> Option<Self> {
+            v.as_f64()
+        }
+    }
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig { seed: 11, sleep: false, ..SupervisorConfig::default() }
+    }
+
+    fn transient(msg: &str) -> UnitError {
+        UnitError { message: msg.into(), transience: Transience::Transient }
+    }
+
+    #[test]
+    fn first_try_success_consumes_one_attempt() {
+        let mut sup = Supervisor::new(cfg());
+        let out = sup.supervise("unit", |_| Ok(1.5f64));
+        match out {
+            Outcome::Completed { value, attempts, from_checkpoint, .. } => {
+                assert_eq!(value, 1.5);
+                assert_eq!(attempts, 1);
+                assert!(!from_checkpoint);
+            }
+            other => panic!("{other:?}"),
+        }
+        let trace = sup.take_trace();
+        assert_eq!(trace.count_of(SpanKind::Attempt), 1);
+        assert_eq!(trace.instants_of(InstantKind::SupervisorRetry), 0);
+    }
+
+    #[test]
+    fn transient_failures_retry_then_succeed() {
+        let mut sup = Supervisor::new(cfg());
+        let out = sup.supervise("flaky", |attempt| {
+            if attempt < 2 {
+                Err(transient("deadlock"))
+            } else {
+                Ok(2.0f64)
+            }
+        });
+        match out {
+            Outcome::Completed { attempts, retries, .. } => {
+                assert_eq!(attempts, 3);
+                assert_eq!(retries.len(), 2);
+                assert!(retries.iter().all(|r| r.backoff_ms > 0));
+            }
+            other => panic!("{other:?}"),
+        }
+        let trace = sup.take_trace();
+        assert_eq!(trace.count_of(SpanKind::Attempt), 3);
+        assert_eq!(trace.instants_of(InstantKind::SupervisorRetry), 2);
+    }
+
+    #[test]
+    fn permanent_failure_quarantines_without_retry() {
+        let mut sup = Supervisor::new(cfg());
+        let out = sup.supervise("broken", |_| -> Result<f64, UnitError> {
+            Err(UnitError { message: "invalid region".into(), transience: Transience::Permanent })
+        });
+        match out {
+            Outcome::Quarantined { attempts, retries, .. } => {
+                assert_eq!(attempts, 1);
+                assert_eq!(retries.len(), 1);
+                assert_eq!(retries[0].backoff_ms, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sup.take_trace().instants_of(InstantKind::SupervisorQuarantine), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_quarantines() {
+        let mut sup = Supervisor::new(cfg());
+        let mut calls = 0;
+        let out = sup.supervise("doomed", |_| -> Result<f64, UnitError> {
+            calls += 1;
+            Err(transient("timeout"))
+        });
+        // max_retries = 2 → 3 attempts total.
+        assert_eq!(calls, 3);
+        assert!(matches!(out, Outcome::Quarantined { attempts: 3, .. }));
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_per_seed_and_name() {
+        let run_campaign = || {
+            let mut sup = Supervisor::new(cfg());
+            let out = sup.supervise("flaky", |attempt| {
+                if attempt < 2 {
+                    Err(transient("storm"))
+                } else {
+                    Ok(1.0f64)
+                }
+            });
+            match out {
+                Outcome::Completed { retries, .. } => {
+                    retries.iter().map(|r| r.backoff_ms).collect::<Vec<_>>()
+                }
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(run_campaign(), run_campaign());
+    }
+
+    #[test]
+    fn checkpoint_then_resume_replays_without_rerunning() {
+        let dir = std::env::temp_dir()
+            .join(format!("ompvar_sup_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.jsonl");
+        let header = Header { seed: 11, fast: true, targets: vec!["a".into(), "b".into()] };
+
+        // First run: "a" completes (with one retry), "b" quarantines;
+        // the process "crashes" here.
+        let m = Manifest::create(&path, header.clone()).unwrap();
+        let mut sup = Supervisor::new(cfg()).with_manifest(m);
+        sup.supervise("a", |attempt| {
+            if attempt == 0 {
+                Err(transient("noise"))
+            } else {
+                Ok(42.0f64)
+            }
+        });
+        sup.supervise("b", |_| -> Result<f64, UnitError> {
+            Err(UnitError { message: "bad".into(), transience: Transience::Permanent })
+        });
+
+        // Resumed run: both units replay from the journal; the closures
+        // must not be called at all.
+        let m = Manifest::open_resume(&path, &header).unwrap();
+        let mut sup = Supervisor::new(cfg()).with_manifest(m);
+        let a = sup.supervise("a", |_| -> Result<f64, UnitError> {
+            panic!("unit a must replay from checkpoint")
+        });
+        match a {
+            Outcome::Completed { value, attempts, retries, from_checkpoint } => {
+                assert_eq!(value, 42.0);
+                assert_eq!(attempts, 2);
+                assert_eq!(retries.len(), 1);
+                assert!(from_checkpoint);
+            }
+            other => panic!("{other:?}"),
+        }
+        let b = sup.supervise("b", |_| -> Result<f64, UnitError> {
+            panic!("unit b must replay from checkpoint")
+        });
+        assert!(matches!(b, Outcome::Quarantined { from_checkpoint: true, .. }));
+        let trace = sup.take_trace();
+        assert_eq!(trace.instants_of(InstantKind::SupervisorResume), 2);
+        assert_eq!(trace.count_of(SpanKind::Attempt), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attempt_seed_keeps_base_for_first_attempt() {
+        assert_eq!(attempt_seed(1234, 0), 1234);
+        assert_ne!(attempt_seed(1234, 1), 1234);
+        assert_ne!(attempt_seed(1234, 1), attempt_seed(1234, 2));
+        // Deterministic.
+        assert_eq!(attempt_seed(1234, 3), attempt_seed(1234, 3));
+    }
+
+    #[test]
+    fn supervisor_trace_is_wellformed_chrome_exportable() {
+        let mut sup = Supervisor::new(cfg());
+        sup.supervise("u1", |a| if a == 0 { Err(transient("x")) } else { Ok(1.0f64) });
+        sup.supervise("u2", |_| Ok(2.0f64));
+        let trace = sup.take_trace();
+        ompvar_obs::wellformed::check(&trace).expect("attempt spans pair up");
+        let doc = ompvar_obs::chrome_trace(&trace, &[], "supervisor");
+        json::parse(&doc).expect("valid chrome JSON");
+        assert!(doc.contains("\"supervisor_retry\""), "{doc}");
+    }
+}
