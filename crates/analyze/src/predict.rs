@@ -1,0 +1,276 @@
+//! Static effect and cost prediction.
+//!
+//! Two predictions are computed from the construct tree alone:
+//!
+//! * [`effects`] — the exact [`SemanticEffects`] counters any correct
+//!   execution must produce (iteration totals, barrier arrivals, lock
+//!   entries, …). This subsumes the runtime's historical
+//!   `expected_effects` and is the single source of truth the
+//!   differential-fuzzing oracles compare both backends against.
+//! * [`cost`] — a coarse [`CostModel`] splitting the region's nominal
+//!   work into *parallelizable* elapsed time and *serialized* time
+//!   (critical sections, ordered sections, single bodies, reduction
+//!   combines, work under a held lock). The analyzer's
+//!   `serial-bottleneck` advisory compares the two.
+//!
+//! The cost model is deliberately nominal: it prices work at the
+//! calibration frequency ([`NOMINAL_GHZ`]) and ignores scheduling,
+//! contention and machine noise — those are exactly what the
+//! experiments *measure*; the model only has to rank serialized against
+//! parallel work on the same scale.
+
+use crate::region::{Construct, RegionSpec};
+use ompvar_sim::trace::SemanticEffects;
+
+/// Nominal frequency (GHz) used to price `Compute` cycles in µs; the
+/// native backend calibrates its delay loop around the same figure.
+pub const NOMINAL_GHZ: f64 = 3.0;
+
+/// Nominal streaming bandwidth used to price `StreamBytes` (bytes/µs).
+pub const STREAM_BYTES_PER_US: f64 = 1e4;
+
+/// Nominal duration of one reduction combine (µs).
+pub const COMBINE_US: f64 = 0.05;
+
+/// Nominal duration of one atomic update (µs).
+pub const ATOMIC_US: f64 = 0.01;
+
+/// The semantic effects a correct execution of `spec` must produce.
+/// Effects are schedule-independent, so the one prediction applies to
+/// both backends.
+pub fn effects(spec: &RegionSpec) -> SemanticEffects {
+    let mut fx = SemanticEffects::default();
+    effects_block(&spec.constructs, spec.n_threads as u64, 1, &mut fx);
+    fx
+}
+
+fn effects_block(cs: &[Construct], n: u64, mult: u64, fx: &mut SemanticEffects) {
+    for c in cs {
+        match c {
+            Construct::ParallelFor {
+                total_iters,
+                ordered_us,
+                nowait,
+                ..
+            } => {
+                fx.loop_iters += total_iters * mult;
+                fx.loop_passes += mult;
+                if ordered_us.is_some() {
+                    fx.ordered_entries += total_iters * mult;
+                }
+                if !nowait {
+                    fx.barrier_arrivals += n * mult;
+                }
+            }
+            Construct::Barrier => fx.barrier_arrivals += n * mult,
+            Construct::Critical { .. } | Construct::LockUnlock { .. } => {
+                fx.lock_entries += n * mult;
+            }
+            Construct::Locked { body, .. } => {
+                fx.lock_entries += n * mult;
+                effects_block(body, n, mult, fx);
+            }
+            Construct::Atomic => fx.atomic_ops += n * mult,
+            Construct::Single { .. } => {
+                fx.single_entries += n * mult;
+                fx.single_winners += mult;
+                fx.barrier_arrivals += n * mult;
+            }
+            Construct::Reduction { .. } => {
+                fx.reduction_combines += n * mult;
+                fx.barrier_arrivals += n * mult;
+            }
+            Construct::Tasks {
+                per_spawner,
+                master_only,
+                ..
+            } => {
+                let spawners = if *master_only { 1 } else { n };
+                fx.tasks_spawned += spawners * u64::from(*per_spawner) * mult;
+                fx.tasks_executed += spawners * u64::from(*per_spawner) * mult;
+                // Post-spawn and final barriers.
+                fx.barrier_arrivals += 2 * n * mult;
+            }
+            Construct::ParallelRegion { body } => {
+                // Entry and exit barriers.
+                fx.barrier_arrivals += 2 * n * mult;
+                effects_block(body, n, mult, fx);
+            }
+            Construct::Repeat { count, body } => {
+                effects_block(body, n, mult * u64::from(*count), fx);
+            }
+            Construct::DelayUs(_)
+            | Construct::Compute { .. }
+            | Construct::StreamBytes(_)
+            | Construct::MarkBegin(_)
+            | Construct::MarkEnd(_) => {}
+        }
+    }
+}
+
+/// Coarse static cost split of a region's nominal work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostModel {
+    /// Elapsed µs of work the team performs concurrently.
+    pub parallel_us: f64,
+    /// Elapsed µs of work that only one thread at a time can perform
+    /// (critical/locked/ordered/single bodies, reduction combines).
+    pub serialized_us: f64,
+    /// Full-team synchronization points (barriers, loop joins, …).
+    pub team_syncs: u64,
+    /// Total lock acquisitions across the team.
+    pub lock_acquires: u64,
+}
+
+/// Predict the cost split for `spec`.
+pub fn cost(spec: &RegionSpec) -> CostModel {
+    let mut m = CostModel::default();
+    cost_block(
+        &spec.constructs,
+        spec.n_threads.max(1) as f64,
+        1.0,
+        false,
+        &mut m,
+    );
+    m
+}
+
+fn cost_block(cs: &[Construct], n: f64, mult: f64, under_lock: bool, m: &mut CostModel) {
+    // Per-thread concurrent work: elapsed time if run free, serialized
+    // n-fold if performed while holding a lock.
+    let spmd_work = |m: &mut CostModel, us: f64| {
+        if under_lock {
+            m.serialized_us += us * n * mult;
+        } else {
+            m.parallel_us += us * mult;
+        }
+    };
+    for c in cs {
+        match c {
+            Construct::DelayUs(us) => spmd_work(m, *us),
+            Construct::Compute { cycles, .. } => spmd_work(m, cycles / (1e3 * NOMINAL_GHZ)),
+            Construct::StreamBytes(b) => spmd_work(m, b / STREAM_BYTES_PER_US),
+            Construct::ParallelFor {
+                total_iters,
+                body_us,
+                ordered_us,
+                nowait,
+                ..
+            } => {
+                let iters = *total_iters as f64;
+                if under_lock {
+                    // Only the lock holder makes progress.
+                    m.serialized_us += iters * body_us * mult;
+                } else {
+                    m.parallel_us += iters * body_us / n * mult;
+                }
+                if let Some(o) = ordered_us {
+                    m.serialized_us += iters * o * mult;
+                }
+                if !nowait {
+                    m.team_syncs += mult as u64;
+                }
+            }
+            Construct::Barrier => m.team_syncs += mult as u64,
+            Construct::Critical { body_us } | Construct::LockUnlock { body_us } => {
+                m.serialized_us += body_us * n * mult;
+                m.lock_acquires += (n * mult) as u64;
+            }
+            Construct::Locked { body, .. } => {
+                m.lock_acquires += (n * mult) as u64;
+                cost_block(body, n, mult, true, m);
+            }
+            Construct::Atomic => m.serialized_us += ATOMIC_US * n * mult,
+            Construct::Single { body_us } => {
+                m.serialized_us += body_us * mult;
+                m.team_syncs += mult as u64;
+            }
+            Construct::Reduction { body_us } => {
+                spmd_work(m, *body_us);
+                m.serialized_us += COMBINE_US * n * mult;
+                m.team_syncs += mult as u64;
+                m.lock_acquires += (n * mult) as u64;
+            }
+            Construct::Tasks {
+                per_spawner,
+                body_us,
+                master_only,
+            } => {
+                let spawners = if *master_only { 1.0 } else { n };
+                m.parallel_us += spawners * f64::from(*per_spawner) * body_us / n * mult;
+                m.team_syncs += 2 * mult as u64;
+            }
+            Construct::ParallelRegion { body } => {
+                m.team_syncs += 2 * mult as u64;
+                cost_block(body, n, mult, under_lock, m);
+            }
+            Construct::Repeat { count, body } => {
+                cost_block(body, n, mult * f64::from(*count), under_lock, m);
+            }
+            Construct::MarkBegin(_) | Construct::MarkEnd(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Schedule;
+
+    #[test]
+    fn cost_splits_serialized_from_parallel() {
+        let m = cost(&RegionSpec {
+            n_threads: 4,
+            constructs: vec![
+                Construct::DelayUs(10.0),
+                Construct::Critical { body_us: 1.0 },
+                Construct::Barrier,
+            ],
+        });
+        assert_eq!(m.parallel_us, 10.0);
+        assert_eq!(m.serialized_us, 4.0);
+        assert_eq!(m.team_syncs, 1);
+        assert_eq!(m.lock_acquires, 4);
+    }
+
+    #[test]
+    fn cost_scales_with_repeat_and_divides_loop_work() {
+        let m = cost(&RegionSpec {
+            n_threads: 2,
+            constructs: vec![Construct::Repeat {
+                count: 5,
+                body: vec![Construct::ParallelFor {
+                    schedule: Schedule::Static { chunk: 1 },
+                    total_iters: 8,
+                    body_us: 1.0,
+                    ordered_us: Some(0.5),
+                    nowait: false,
+                }],
+            }],
+        });
+        // 8 iters × 1 µs / 2 threads × 5 reps.
+        assert_eq!(m.parallel_us, 20.0);
+        // Ordered sections serialize: 8 × 0.5 × 5.
+        assert_eq!(m.serialized_us, 20.0);
+        assert_eq!(m.team_syncs, 5);
+    }
+
+    #[test]
+    fn work_under_a_held_lock_is_serialized() {
+        let free = cost(&RegionSpec {
+            n_threads: 4,
+            constructs: vec![Construct::DelayUs(1.0)],
+        });
+        assert_eq!(free.serialized_us, 0.0);
+        let held = cost(&RegionSpec {
+            n_threads: 4,
+            constructs: vec![Construct::Locked {
+                lock: 0,
+                body: vec![Construct::DelayUs(1.0)],
+            }],
+        });
+        assert_eq!(held.parallel_us, 0.0);
+        assert_eq!(held.serialized_us, 4.0);
+        assert_eq!(held.lock_acquires, 4);
+    }
+}

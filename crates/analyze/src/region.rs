@@ -3,9 +3,13 @@
 //!
 //! Benchmarks (EPCC, BabelStream) describe their work as a tree of
 //! [`Construct`]s executed SPMD-style by every thread of the team. The
-//! same description runs on the [native backend](crate::native) (real
-//! threads) and on the [simulated backend](crate::simrt) (virtual time on
-//! a modeled machine), which is what makes measurements comparable.
+//! same description runs on the `ompvar-rt` native backend (real
+//! threads) and on its simulated backend (virtual time on a modeled
+//! machine), which is what makes measurements comparable. The IR lives
+//! in this crate — rather than in the runtime — so that the static
+//! analyzer ([`crate::passes`]) can be the single authority on what a
+//! well-formed program is, and both backends simply consume its verdict
+//! through [`RegionSpec::validate`].
 
 use ompvar_sim::task::CorunClass;
 use ompvar_sim::trace::SemanticEffects;
@@ -105,6 +109,19 @@ pub enum Construct {
         /// Locked-section body (µs).
         body_us: f64,
     },
+    /// A *named*-lock scope: acquire the shared lock `lock`, execute
+    /// `body` while holding it, release. Unlike
+    /// [`Construct::LockUnlock`], whose lock is private to the construct
+    /// site, the same `lock` id names the same lock object everywhere in
+    /// the region — so nested `Locked` scopes express acquisition
+    /// *orders*, the raw material of the analyzer's may-deadlock pass
+    /// (`omp_set_lock` on a shared `omp_lock_t`).
+    Locked {
+        /// Shared lock id; equal ids alias the same lock object.
+        lock: u32,
+        /// Constructs executed while holding the lock.
+        body: Vec<Construct>,
+    },
     /// `omp atomic` update of a shared scalar.
     Atomic,
     /// `omp single` with a `delay(body_us)` body (implicit barrier).
@@ -150,10 +167,38 @@ pub enum Construct {
     },
 }
 
+impl Construct {
+    /// Stable kind name, used in diagnostic spans and coverage tallies.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Construct::DelayUs(_) => "DelayUs",
+            Construct::Compute { .. } => "Compute",
+            Construct::StreamBytes(_) => "StreamBytes",
+            Construct::ParallelFor { .. } => "ParallelFor",
+            Construct::Barrier => "Barrier",
+            Construct::Critical { .. } => "Critical",
+            Construct::LockUnlock { .. } => "LockUnlock",
+            Construct::Locked { .. } => "Locked",
+            Construct::Atomic => "Atomic",
+            Construct::Single { .. } => "Single",
+            Construct::ParallelRegion { .. } => "ParallelRegion",
+            Construct::Reduction { .. } => "Reduction",
+            Construct::Tasks { .. } => "Tasks",
+            Construct::MarkBegin(_) => "MarkBegin",
+            Construct::MarkEnd(_) => "MarkEnd",
+            Construct::Repeat { .. } => "Repeat",
+        }
+    }
+}
+
 /// A structural defect of a [`RegionSpec`] found by
 /// [`RegionSpec::validate`]. Programs with any of these defects have no
 /// defined execution on at least one backend, so they are rejected up
 /// front with a typed error instead of panicking mid-run.
+///
+/// Each variant corresponds to one `Error`-severity diagnostic code of
+/// the analyzer (see [`crate::diag::DiagCode`]); `validate()` surfaces
+/// the first such diagnostic as its typed error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionError {
     /// The team has zero threads.
@@ -181,6 +226,21 @@ pub enum RegionError {
     /// every thread has observed the previous pass's exhaustion corrupts
     /// its generation tracking, so such programs are rejected.
     RepeatedNowaitLoop,
+    /// A `Locked` scope re-acquires a lock id it already holds:
+    /// guaranteed self-deadlock on the first thread to reach it.
+    SelfNestedLock {
+        /// The re-acquired lock id.
+        lock: u32,
+    },
+    /// A team-synchronizing construct executes while a named lock is
+    /// held: threads blocked on the lock can never reach the rendezvous,
+    /// so the holder waits forever (deadlock for any team of two or
+    /// more; rejected uniformly so validity does not depend on team
+    /// size).
+    SyncUnderLock {
+        /// Kind name of the synchronizing construct.
+        construct: &'static str,
+    },
 }
 
 impl std::fmt::Display for RegionError {
@@ -200,6 +260,12 @@ impl std::fmt::Display for RegionError {
                 f,
                 "nowait loop repeated without an intervening full-team synchronization"
             ),
+            RegionError::SelfNestedLock { lock } => {
+                write!(f, "lock {lock} acquired while already held (self-deadlock)")
+            }
+            RegionError::SyncUnderLock { construct } => {
+                write!(f, "{construct} synchronizes the team while a lock is held")
+            }
         }
     }
 }
@@ -215,203 +281,44 @@ pub struct RegionSpec {
     pub constructs: Vec<Construct>,
 }
 
-/// Reject negative/NaN/infinite work parameters.
-fn check_work(construct: &'static str, v: f64) -> Result<(), RegionError> {
-    if v.is_finite() && v >= 0.0 {
-        Ok(())
-    } else {
-        Err(RegionError::InvalidWork { construct })
-    }
-}
-
-/// Does this block (descending into `Repeat` bodies, but not into
-/// `ParallelRegion`s, which synchronize themselves on exit) contain a
-/// `nowait` loop?
-fn contains_nowait(cs: &[Construct]) -> bool {
-    cs.iter().any(|c| match c {
-        Construct::ParallelFor { nowait, .. } => *nowait,
-        Construct::Repeat { body, .. } => contains_nowait(body),
-        _ => false,
-    })
-}
-
-/// Does this block (descending into `Repeat` bodies) contain at least one
-/// construct that rendezvouses the full team?
-fn contains_team_sync(cs: &[Construct]) -> bool {
-    cs.iter().any(|c| match c {
-        Construct::Barrier
-        | Construct::Single { .. }
-        | Construct::Reduction { .. }
-        | Construct::Tasks { .. }
-        | Construct::ParallelRegion { .. } => true,
-        Construct::ParallelFor { nowait, .. } => !nowait,
-        Construct::Repeat { body, .. } => contains_team_sync(body),
-        _ => false,
-    })
-}
-
 impl RegionSpec {
     /// Validated constructor: rejects malformed regions with a typed
-    /// [`crate::RtError::InvalidRegion`] instead of panicking later
-    /// inside a backend.
-    pub fn new(
-        n_threads: usize,
-        constructs: Vec<Construct>,
-    ) -> Result<Self, crate::error::RtError> {
+    /// [`RegionError`] instead of panicking later inside a backend.
+    pub fn new(n_threads: usize, constructs: Vec<Construct>) -> Result<Self, RegionError> {
         let spec = RegionSpec {
             n_threads,
             constructs,
         };
-        spec.validate().map_err(crate::error::RtError::InvalidRegion)?;
+        spec.validate()?;
         Ok(spec)
     }
 
     /// Structurally validate the region: the contract every program must
     /// meet before either backend will run it (and the contract the
     /// `ompvar-qcheck` generator promises to uphold).
+    ///
+    /// This is the `Error`-severity surface of the static analyzer: it
+    /// runs the full [`crate::passes::analyze`] pipeline and surfaces
+    /// the first `Error`-severity diagnostic as its typed
+    /// [`RegionError`]. `Warn`/`Info` findings never fail validation.
     pub fn validate(&self) -> Result<(), RegionError> {
-        if self.n_threads == 0 {
-            return Err(RegionError::ZeroThreads);
+        match crate::passes::analyze(self).first_error() {
+            Some(d) => Err(d
+                .cause
+                .expect("error-severity diagnostics carry their RegionError")),
+            None => Ok(()),
         }
-        Self::validate_block(&self.constructs)
-    }
-
-    fn validate_block(cs: &[Construct]) -> Result<(), RegionError> {
-        // Marker ids currently open in *this* block; pairs must balance
-        // block-locally so every repetition of a block emits complete
-        // begin/end pairs.
-        let mut open: Vec<u32> = Vec::new();
-        for c in cs {
-            match c {
-                Construct::DelayUs(us) => check_work("DelayUs", *us)?,
-                Construct::Compute { cycles, .. } => check_work("Compute", *cycles)?,
-                Construct::StreamBytes(b) => check_work("StreamBytes", *b)?,
-                Construct::ParallelFor {
-                    schedule,
-                    total_iters,
-                    body_us,
-                    ordered_us,
-                    ..
-                } => {
-                    if *total_iters == 0 {
-                        return Err(RegionError::ZeroIterationLoop);
-                    }
-                    let chunk = match schedule {
-                        Schedule::Static { chunk } | Schedule::Dynamic { chunk } => *chunk,
-                        Schedule::Guided { min_chunk } => *min_chunk,
-                    };
-                    if chunk == 0 {
-                        return Err(RegionError::ZeroChunk);
-                    }
-                    check_work("ParallelFor body", *body_us)?;
-                    if let Some(o) = ordered_us {
-                        check_work("ordered section", *o)?;
-                    }
-                }
-                Construct::Critical { body_us } => check_work("Critical", *body_us)?,
-                Construct::LockUnlock { body_us } => check_work("LockUnlock", *body_us)?,
-                Construct::Single { body_us } => check_work("Single", *body_us)?,
-                Construct::Reduction { body_us } => check_work("Reduction", *body_us)?,
-                Construct::Tasks { body_us, .. } => check_work("Tasks body", *body_us)?,
-                Construct::Barrier | Construct::Atomic => {}
-                Construct::MarkBegin(id) => {
-                    if open.contains(id) {
-                        return Err(RegionError::UnmatchedMark { id: *id });
-                    }
-                    open.push(*id);
-                }
-                Construct::MarkEnd(id) => {
-                    let Some(pos) = open.iter().position(|k| k == id) else {
-                        return Err(RegionError::UnmatchedMark { id: *id });
-                    };
-                    open.remove(pos);
-                }
-                Construct::ParallelRegion { body } => Self::validate_block(body)?,
-                Construct::Repeat { count, body } => {
-                    if *count == 0 {
-                        return Err(RegionError::ZeroCountRepeat);
-                    }
-                    Self::validate_block(body)?;
-                    if *count > 1 && contains_nowait(body) && !contains_team_sync(body) {
-                        return Err(RegionError::RepeatedNowaitLoop);
-                    }
-                }
-            }
-        }
-        if let Some(id) = open.first() {
-            return Err(RegionError::UnmatchedMark { id: *id });
-        }
-        Ok(())
     }
 
     /// The semantic effects a correct execution of this region *must*
     /// produce, computed statically from the construct tree. Effects are
     /// schedule-independent (iteration totals, arrivals, combine counts),
-    /// so this single prediction applies to both backends.
+    /// so this single prediction applies to both backends. Delegates to
+    /// [`crate::predict::effects`], the analyzer's effect-prediction
+    /// pass — the single source of truth the differential-fuzzing
+    /// oracles compare against.
     pub fn expected_effects(&self) -> SemanticEffects {
-        let mut fx = SemanticEffects::default();
-        Self::expect_block(&self.constructs, self.n_threads as u64, 1, &mut fx);
-        fx
-    }
-
-    fn expect_block(cs: &[Construct], n: u64, mult: u64, fx: &mut SemanticEffects) {
-        for c in cs {
-            match c {
-                Construct::ParallelFor {
-                    total_iters,
-                    ordered_us,
-                    nowait,
-                    ..
-                } => {
-                    fx.loop_iters += total_iters * mult;
-                    fx.loop_passes += mult;
-                    if ordered_us.is_some() {
-                        fx.ordered_entries += total_iters * mult;
-                    }
-                    if !nowait {
-                        fx.barrier_arrivals += n * mult;
-                    }
-                }
-                Construct::Barrier => fx.barrier_arrivals += n * mult,
-                Construct::Critical { .. } | Construct::LockUnlock { .. } => {
-                    fx.lock_entries += n * mult;
-                }
-                Construct::Atomic => fx.atomic_ops += n * mult,
-                Construct::Single { .. } => {
-                    fx.single_entries += n * mult;
-                    fx.single_winners += mult;
-                    fx.barrier_arrivals += n * mult;
-                }
-                Construct::Reduction { .. } => {
-                    fx.reduction_combines += n * mult;
-                    fx.barrier_arrivals += n * mult;
-                }
-                Construct::Tasks {
-                    per_spawner,
-                    master_only,
-                    ..
-                } => {
-                    let spawners = if *master_only { 1 } else { n };
-                    fx.tasks_spawned += spawners * u64::from(*per_spawner) * mult;
-                    fx.tasks_executed += spawners * u64::from(*per_spawner) * mult;
-                    // Post-spawn and final barriers.
-                    fx.barrier_arrivals += 2 * n * mult;
-                }
-                Construct::ParallelRegion { body } => {
-                    // Entry and exit barriers.
-                    fx.barrier_arrivals += 2 * n * mult;
-                    Self::expect_block(body, n, mult, fx);
-                }
-                Construct::Repeat { count, body } => {
-                    Self::expect_block(body, n, mult * u64::from(*count), fx);
-                }
-                Construct::DelayUs(_)
-                | Construct::Compute { .. }
-                | Construct::StreamBytes(_)
-                | Construct::MarkBegin(_)
-                | Construct::MarkEnd(_) => {}
-            }
-        }
+        crate::predict::effects(self)
     }
 
     /// The canonical EPCC-style measurement wrapper: two *unmeasured*
@@ -514,10 +421,7 @@ mod tests {
     #[test]
     fn zero_threads_rejected() {
         let err = RegionSpec::new(0, vec![]).unwrap_err();
-        assert!(matches!(
-            err,
-            crate::RtError::InvalidRegion(RegionError::ZeroThreads)
-        ));
+        assert_eq!(err, RegionError::ZeroThreads);
     }
 
     fn valid(cs: Vec<Construct>) -> Result<(), RegionError> {
@@ -630,6 +534,98 @@ mod tests {
         assert_eq!(valid(once), Ok(()));
     }
 
+    /// Regression test for the helper-recursion bug: `contains_nowait`
+    /// used to skip `ParallelRegion` bodies, so a nowait hazard *nested
+    /// inside* a parallel region escaped the repeated-nowait check
+    /// entirely — and `contains_team_sync` counted the nested region
+    /// itself as an outer-team rendezvous, which (per the OpenMP model,
+    /// where a nested region forks its own team) it is not. This test
+    /// fails on the pre-fix code, which accepted both programs.
+    #[test]
+    fn validate_rejects_nowait_hazard_nested_in_parallel_region() {
+        let nowait_loop = Construct::ParallelFor {
+            schedule: Schedule::Dynamic { chunk: 1 },
+            total_iters: 8,
+            body_us: 0.1,
+            ordered_us: None,
+            nowait: true,
+        };
+        // The hazardous loop hides inside a nested ParallelRegion: the
+        // old helpers neither saw the nowait nor refused to credit the
+        // region as a sync, so validate() accepted this.
+        let hidden = vec![Construct::Repeat {
+            count: 2,
+            body: vec![Construct::ParallelRegion {
+                body: vec![nowait_loop.clone()],
+            }],
+        }];
+        assert_eq!(valid(hidden), Err(RegionError::RepeatedNowaitLoop));
+        // A nested region alone must not count as the intervening sync
+        // for a sibling nowait loop.
+        let sibling = vec![Construct::Repeat {
+            count: 2,
+            body: vec![
+                nowait_loop.clone(),
+                Construct::ParallelRegion { body: vec![] },
+            ],
+        }];
+        assert_eq!(valid(sibling), Err(RegionError::RepeatedNowaitLoop));
+        // A barrier *inside* the nested body binds to the inner team, so
+        // the conservative check still rejects…
+        let inner_barrier = vec![Construct::Repeat {
+            count: 2,
+            body: vec![Construct::ParallelRegion {
+                body: vec![nowait_loop.clone(), Construct::Barrier],
+            }],
+        }];
+        assert_eq!(valid(inner_barrier), Err(RegionError::RepeatedNowaitLoop));
+        // …while an outer-team barrier in the repeated body fixes it.
+        let fixed = vec![Construct::Repeat {
+            count: 2,
+            body: vec![
+                Construct::ParallelRegion {
+                    body: vec![nowait_loop],
+                },
+                Construct::Barrier,
+            ],
+        }];
+        assert_eq!(valid(fixed), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_deadlocking_lock_nesting() {
+        // Self-nesting the same named lock is a guaranteed deadlock.
+        assert_eq!(
+            valid(vec![Construct::Locked {
+                lock: 1,
+                body: vec![Construct::Locked {
+                    lock: 1,
+                    body: vec![Construct::DelayUs(0.1)],
+                }],
+            }]),
+            Err(RegionError::SelfNestedLock { lock: 1 })
+        );
+        // Team synchronization under a held lock can never complete.
+        assert_eq!(
+            valid(vec![Construct::Locked {
+                lock: 0,
+                body: vec![Construct::Barrier],
+            }]),
+            Err(RegionError::SyncUnderLock { construct: "Barrier" })
+        );
+        // Distinct locks in consistent order are fine.
+        assert_eq!(
+            valid(vec![Construct::Locked {
+                lock: 0,
+                body: vec![Construct::Locked {
+                    lock: 1,
+                    body: vec![Construct::DelayUs(0.1)],
+                }],
+            }]),
+            Ok(())
+        );
+    }
+
     #[test]
     fn expected_effects_walk_the_tree() {
         let fx = RegionSpec {
@@ -666,5 +662,22 @@ mod tests {
         assert_eq!(fx.tasks_spawned, 2);
         assert_eq!(fx.tasks_executed, 2);
         assert_eq!(fx.mutex_violations, 0);
+    }
+
+    #[test]
+    fn expected_effects_count_named_lock_entries() {
+        let fx = RegionSpec {
+            n_threads: 3,
+            constructs: vec![Construct::Repeat {
+                count: 2,
+                body: vec![Construct::Locked {
+                    lock: 0,
+                    body: vec![Construct::Atomic],
+                }],
+            }],
+        }
+        .expected_effects();
+        assert_eq!(fx.lock_entries, 3 * 2);
+        assert_eq!(fx.atomic_ops, 3 * 2);
     }
 }

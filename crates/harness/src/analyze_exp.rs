@@ -1,0 +1,256 @@
+//! The `analyze` experiment: the static analyzer over the built-in
+//! benchmark corpus, plus a flagged-program demonstration.
+//!
+//! Two jobs:
+//!
+//! 1. **Corpus hygiene.** Every region spec the spec-driven experiments
+//!    run — syncbench's ten constructs, schedbench's paper schedules,
+//!    BabelStream's kernel sweep, taskbench's two patterns — must
+//!    analyze *clean*: no diagnostic at `Warn` or above. A warning here
+//!    means a harness experiment would measure a program with a latent
+//!    hazard, poisoning the variability data it reports.
+//! 2. **Detection demonstration.** A textbook lock-order inversion
+//!    (AB/BA across two `Locked` scopes) must be flagged `OMPV110`
+//!    (may-deadlock) while still passing `validate()` — showing the
+//!    Warn tier catches what the hard error tier deliberately admits.
+//!
+//! The same catalog backs the CLI's **pre-flight gate**: before an
+//! experiment runs, [`preflight_specs`] lists its built-in specs, each
+//! is analyzed, and an `Error`-severity finding quarantines the
+//! experiment as a permanent failure — recorded in the checkpoint
+//! manifest and the JSON run report — instead of crashing mid-run.
+
+use crate::common::{Check, ExpOptions, ExpReport};
+use ompvar_analyze::{analyze, Severity};
+use ompvar_bench_epcc::taskbench::{self, TaskPattern};
+use ompvar_bench_epcc::{schedbench, syncbench, EpccConfig};
+use ompvar_bench_epcc::syncbench::SyncConstruct;
+use ompvar_bench_stream::kernels::StreamConfig;
+use ompvar_core::Table;
+use ompvar_rt::region::{Construct, RegionSpec};
+
+/// Experiments whose built-in region specs [`preflight_specs`] covers.
+/// The rest (`fuzz`, `trace`, `faults`, …) generate or perturb their
+/// programs dynamically and guard themselves.
+pub const SPEC_DRIVEN: [&str; 12] = [
+    "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "taskbench",
+    "chunks", "campaign",
+];
+
+/// Which benchmark families an experiment draws its specs from:
+/// `(syncbench, schedbench, stream, taskbench)`.
+fn families(experiment: &str) -> (bool, bool, bool, bool) {
+    match experiment {
+        "table2" | "chunks" | "campaign" => (false, true, false, false),
+        "fig1" | "ablation" => (true, false, false, false),
+        "fig2" => (false, false, true, false),
+        "fig3" | "fig4" | "fig5" => (true, true, true, false),
+        "fig6" | "fig7" => (true, true, false, false),
+        "taskbench" => (false, false, false, true),
+        _ => (false, false, false, false),
+    }
+}
+
+fn specs_for(
+    sync: bool,
+    sched: bool,
+    stream: bool,
+    task: bool,
+    opts: &ExpOptions,
+) -> Vec<(String, RegionSpec)> {
+    let n = 4; // representative small team; analysis is team-size-uniform
+    let reps = opts.outer_reps().min(8);
+    let mut out = Vec::new();
+    if sync {
+        let cfg = EpccConfig::syncbench_default().fast(reps);
+        for c in SyncConstruct::ALL {
+            out.push((
+                format!("syncbench/{}", c.label()),
+                syncbench::region_with_inner(&cfg, c, n, 4),
+            ));
+        }
+    }
+    if sched {
+        let cfg = EpccConfig::schedbench_default().fast(reps);
+        for s in schedbench::paper_schedules() {
+            out.push((format!("schedbench/{s:?}"), schedbench::region(&cfg, s, n)));
+        }
+    }
+    if stream {
+        out.push((
+            "stream/kernel-sweep".to_string(),
+            ompvar_bench_stream::region(&StreamConfig::small(), n),
+        ));
+    }
+    if task {
+        let cfg = EpccConfig::syncbench_default().fast(reps);
+        for p in TaskPattern::ALL {
+            out.push((
+                format!("taskbench/{}", p.label()),
+                taskbench::region(&cfg, p, n, 2),
+            ));
+        }
+    }
+    out
+}
+
+/// The built-in region specs experiment `experiment` will run, labeled.
+/// Empty for experiments that build programs dynamically. This is the
+/// pre-flight gate's work list.
+pub fn preflight_specs(experiment: &str, opts: &ExpOptions) -> Vec<(String, RegionSpec)> {
+    let (sync, sched, stream, task) = families(experiment);
+    specs_for(sync, sched, stream, task, opts)
+}
+
+/// The full deduplicated corpus: every family once.
+fn corpus(opts: &ExpOptions) -> Vec<(String, RegionSpec)> {
+    specs_for(true, true, true, true, opts)
+}
+
+/// The flagged-program demonstration: AB then BA acquisition order over
+/// two named locks — valid (Warn, not Error), but may-deadlock.
+pub fn lock_inversion_demo() -> RegionSpec {
+    RegionSpec::new(
+        2,
+        vec![
+            Construct::Locked {
+                lock: 0,
+                body: vec![Construct::Locked {
+                    lock: 1,
+                    body: vec![Construct::DelayUs(0.5)],
+                }],
+            },
+            Construct::Barrier,
+            Construct::Locked {
+                lock: 1,
+                body: vec![Construct::Locked {
+                    lock: 0,
+                    body: vec![Construct::DelayUs(0.5)],
+                }],
+            },
+        ],
+    )
+    .expect("a lock cycle is Warn-severity: the spec still validates")
+}
+
+/// Execute and report.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let corpus = corpus(opts);
+    let mut t = Table::new(
+        &format!("Static analysis over {} built-in benchmark region(s)", corpus.len()),
+        &["spec", "constructs", "diagnostics", "verdict"],
+    );
+    let mut dirty: Vec<String> = Vec::new();
+    for (label, spec) in &corpus {
+        let a = analyze(spec);
+        let verdict: Vec<&str> = a.verdict().iter().map(|c| c.code()).collect();
+        let verdict = if verdict.is_empty() {
+            "clean".to_string()
+        } else {
+            verdict.join(" ")
+        };
+        if a.max_severity() >= Some(Severity::Warn) {
+            dirty.push(format!("{label}: {}", a.render()));
+        }
+        t.row(&[
+            label.clone(),
+            spec.constructs.len().to_string(),
+            a.diagnostics.len().to_string(),
+            verdict,
+        ]);
+    }
+
+    let mut checks = Vec::new();
+    checks.push(Check::new(
+        "every built-in benchmark region analyzes clean",
+        dirty.is_empty(),
+        if dirty.is_empty() {
+            format!("{} spec(s), no Warn-or-worse diagnostics", corpus.len())
+        } else {
+            dirty.join("; ")
+        },
+    ));
+
+    let demo = lock_inversion_demo();
+    let a = analyze(&demo);
+    let flagged = a.may_deadlock() && a.verdict().iter().any(|c| c.code() == "OMPV110");
+    checks.push(Check::new(
+        "analyzer flags the AB/BA lock-order inversion as may-deadlock",
+        flagged && demo.validate().is_ok(),
+        a.render().replace('\n', "; "),
+    ));
+
+    // The Error tier and `validate()` must be the same surface: a
+    // statically rejected program's first Error diagnostic carries
+    // exactly the `RegionError` that `validate()` returns.
+    let bad = RegionSpec {
+        n_threads: 2,
+        constructs: vec![Construct::Repeat {
+            count: 3,
+            body: vec![Construct::ParallelFor {
+                schedule: ompvar_rt::region::Schedule::Static { chunk: 1 },
+                total_iters: 8,
+                body_us: 0.1,
+                ordered_us: None,
+                nowait: true,
+            }],
+        }],
+    };
+    let a = analyze(&bad);
+    let agree = match (a.first_error(), bad.validate()) {
+        (Some(d), Err(e)) => d.cause.as_ref() == Some(&e),
+        _ => false,
+    };
+    checks.push(Check::new(
+        "Error-severity diagnostics and validate() agree",
+        agree,
+        a.first_error()
+            .map(|d| d.render())
+            .unwrap_or_else(|| "no error diagnostic".to_string()),
+    ));
+
+    ExpReport {
+        name: "analyze".into(),
+        tables: vec![t],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_experiment_passes() {
+        let rep = run(&ExpOptions::fast());
+        assert!(rep.all_passed(), "{}", rep.render());
+    }
+
+    /// Table-driven corpus hygiene: every spec-driven experiment's
+    /// built-in regions analyze clean, experiment by experiment.
+    #[test]
+    fn every_experiments_builtin_specs_analyze_clean() {
+        let opts = ExpOptions::fast();
+        for exp in SPEC_DRIVEN {
+            let specs = preflight_specs(exp, &opts);
+            assert!(!specs.is_empty(), "{exp} lists no specs");
+            for (label, spec) in specs {
+                let a = analyze(&spec);
+                assert!(
+                    a.verdict().is_empty(),
+                    "{exp}/{label} is not clean:\n{}",
+                    a.render()
+                );
+                assert!(spec.validate().is_ok(), "{exp}/{label} fails validation");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_experiments_have_no_preflight_specs() {
+        let opts = ExpOptions::fast();
+        for exp in ["fuzz", "faults", "trace", "analyze"] {
+            assert!(preflight_specs(exp, &opts).is_empty(), "{exp}");
+        }
+    }
+}

@@ -24,8 +24,8 @@
 //! flushes a partial report marked `"interrupted": true` and exits 130.
 
 use ompvar_harness::{
-    ablation, campaign_exp, chunks, common, faults_exp, fig1, fig2, fig3, fig4, fig5, fig67,
-    fuzz_exp, table2, taskbench_exp, trace_exp, Check, ExpOptions, ExpReport,
+    ablation, analyze_exp, campaign_exp, chunks, common, faults_exp, fig1, fig2, fig3, fig4, fig5,
+    fig67, fuzz_exp, table2, taskbench_exp, trace_exp, Check, ExpOptions, ExpReport,
 };
 use ompvar_supervisor::{
     atomic_write, attempt_seed, Header, Manifest, Outcome, Supervisor, SupervisorConfig, UnitError,
@@ -34,9 +34,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "taskbench",
-    "chunks", "faults", "fuzz", "trace", "campaign",
+    "chunks", "faults", "fuzz", "analyze", "trace", "campaign",
 ];
 
 /// Set by the SIGINT handler; polled between experiments so an
@@ -85,6 +85,7 @@ fn run_one(name: &str, opts: &ExpOptions) -> ExpReport {
         "chunks" => chunks::run(opts),
         "faults" => faults_exp::run(opts),
         "fuzz" => fuzz_exp::run(opts),
+        "analyze" => analyze_exp::run(opts),
         "trace" => trace_exp::run(opts),
         "campaign" => campaign_exp::run(opts),
         // Names are validated before any experiment runs.
@@ -290,7 +291,31 @@ fn main() -> ExitCode {
             std::process::exit(130);
         }
         let t0 = std::time::Instant::now();
-        let outcome = sup.supervise(name, |n| attempt(name, &opts, n));
+        // Static pre-flight gate: analyze the experiment's built-in
+        // region specs before running anything. An Error-severity
+        // finding is structural — the supervisor records it as a
+        // permanently-failed unit (quarantined, journaled in the
+        // checkpoint manifest, a FAIL check in the JSON report) without
+        // spending the experiment's wall-clock budget.
+        let rejected = analyze_exp::preflight_specs(name, &opts)
+            .into_iter()
+            .find_map(|(label, spec)| {
+                ompvar_analyze::analyze(&spec)
+                    .first_error()
+                    .map(|d| (label, d.render(), d.cause))
+            });
+        let outcome = match rejected {
+            Some((label, rendered, cause)) => {
+                eprintln!("preflight: {name} spec `{label}` statically rejected: {rendered}");
+                let cause = cause.expect("Error-severity diagnostics carry their RegionError");
+                sup.supervise(name, |_n| {
+                    Err::<ExpReport, _>(UnitError::from_rt(&ompvar_rt::RtError::InvalidRegion(
+                        cause,
+                    )))
+                })
+            }
+            None => sup.supervise(name, |n| attempt(name, &opts, n)),
+        };
         let (report, note) = match outcome {
             Outcome::Completed { value, attempts, from_checkpoint, .. } => {
                 let note = if from_checkpoint {

@@ -27,7 +27,9 @@ use ompvar_rt::region::Construct;
 fn has_reduction(cs: &[Construct]) -> bool {
     cs.iter().any(|c| match c {
         Construct::Reduction { .. } => true,
-        Construct::Repeat { body, .. } | Construct::ParallelRegion { body } => has_reduction(body),
+        Construct::Repeat { body, .. }
+        | Construct::ParallelRegion { body }
+        | Construct::Locked { body, .. } => has_reduction(body),
         _ => false,
     })
 }
@@ -114,7 +116,7 @@ pub fn run(opts: &ExpOptions) -> ExpReport {
         .filter(|k| !rep.coverage.contains_key(k))
         .collect();
     // Full grammar coverage is only a fair demand with a real budget; a
-    // handful of cases cannot visit all 15 kinds.
+    // handful of cases cannot visit all 16 kinds.
     let coverage_expected = rep.cases >= 50;
     checks.push(Check::new(
         "campaign exercises every construct kind",

@@ -20,5 +20,6 @@ pub mod taskbench_exp;
 pub mod chunks;
 pub mod faults_exp;
 pub mod fuzz_exp;
+pub mod analyze_exp;
 pub mod trace_exp;
 pub mod campaign_exp;

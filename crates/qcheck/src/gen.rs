@@ -66,29 +66,14 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> RegionSpec {
     spec
 }
 
-/// Name of a construct's kind, for coverage tallies.
+/// Name of a construct's kind, for coverage tallies (the IR's own
+/// stable kind name).
 pub fn construct_kind(c: &Construct) -> &'static str {
-    match c {
-        Construct::DelayUs(_) => "DelayUs",
-        Construct::Compute { .. } => "Compute",
-        Construct::StreamBytes(_) => "StreamBytes",
-        Construct::ParallelFor { .. } => "ParallelFor",
-        Construct::Barrier => "Barrier",
-        Construct::Critical { .. } => "Critical",
-        Construct::LockUnlock { .. } => "LockUnlock",
-        Construct::Atomic => "Atomic",
-        Construct::Single { .. } => "Single",
-        Construct::ParallelRegion { .. } => "ParallelRegion",
-        Construct::Reduction { .. } => "Reduction",
-        Construct::Tasks { .. } => "Tasks",
-        Construct::MarkBegin(_) => "MarkBegin",
-        Construct::MarkEnd(_) => "MarkEnd",
-        Construct::Repeat { .. } => "Repeat",
-    }
+    c.kind_name()
 }
 
 /// All kind names [`construct_kind`] can produce (coverage universe).
-pub const ALL_KINDS: [&str; 15] = [
+pub const ALL_KINDS: [&str; 16] = [
     "DelayUs",
     "Compute",
     "StreamBytes",
@@ -96,6 +81,7 @@ pub const ALL_KINDS: [&str; 15] = [
     "Barrier",
     "Critical",
     "LockUnlock",
+    "Locked",
     "Atomic",
     "Single",
     "ParallelRegion",
@@ -146,7 +132,7 @@ fn gen_construct(
     depth: usize,
     next_mark: &mut u32,
 ) -> Construct {
-    let pick = rng.below(15);
+    let pick = rng.below(16);
     match pick {
         0 => Construct::DelayUs(body_us(rng, cfg)),
         1 => Construct::Compute {
@@ -206,9 +192,50 @@ fn gen_construct(
             }
             Construct::Repeat { count, body }
         }
+        15 if depth < cfg.max_depth => gen_locked(rng, cfg, &mut Vec::new()),
         // At max depth the nesting picks fall back to plain delays.
         _ => Construct::DelayUs(body_us(rng, cfg)),
     }
+}
+
+/// Generate a named-lock scope. Bodies are cheap leaf constructs plus
+/// optional further nesting over *distinct* lock ids, so the generator
+/// never emits the analyzer's `Error`-severity lock hazards
+/// (self-nesting, team sync under a held lock). `Warn`-level
+/// acquisition-order cycles across sibling scopes *are* possible — those
+/// programs validate, carry a may-deadlock verdict, and exercise the
+/// soundness oracle.
+fn gen_locked(rng: &mut Rng, cfg: &GenConfig, held: &mut Vec<u32>) -> Construct {
+    // Four lock ids and at most three held at once, so a free id exists.
+    let lock = loop {
+        let l = rng.below(4) as u32;
+        if !held.contains(&l) {
+            break l;
+        }
+    };
+    held.push(lock);
+    let len = 1 + rng.below(2) as usize;
+    let mut body: Vec<Construct> = (0..len)
+        .map(|_| match rng.below(5) {
+            0 => Construct::DelayUs(body_us(rng, cfg) * 0.25),
+            1 => Construct::Atomic,
+            2 => Construct::Critical {
+                body_us: body_us(rng, cfg) * 0.25,
+            },
+            3 => Construct::LockUnlock {
+                body_us: body_us(rng, cfg) * 0.25,
+            },
+            _ => Construct::Compute {
+                cycles: rng.f64() * 1000.0,
+                class: CorunClass::Latency,
+            },
+        })
+        .collect();
+    if held.len() < 3 && rng.below(3) == 0 {
+        body.push(gen_locked(rng, cfg, held));
+    }
+    held.pop();
+    Construct::Locked { lock, body }
 }
 
 #[cfg(test)]
@@ -234,9 +261,9 @@ mod tests {
             for c in cs {
                 seen.insert(construct_kind(c));
                 match c {
-                    Construct::ParallelRegion { body } | Construct::Repeat { body, .. } => {
-                        tally(body, seen)
-                    }
+                    Construct::ParallelRegion { body }
+                    | Construct::Repeat { body, .. }
+                    | Construct::Locked { body, .. } => tally(body, seen),
                     _ => {}
                 }
             }

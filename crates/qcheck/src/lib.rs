@@ -6,7 +6,14 @@
 //! [`oracle`] runs each one on **both** backends and compares their
 //! harvested semantic effects against a static prediction from the
 //! construct tree, and [`shrink`] reduces any failing program to a
-//! minimal replayable counterexample.
+//! minimal replayable counterexample carrying the same
+//! `ompvar-analyze` verdict as the original.
+//!
+//! The oracles also close the loop on the static analyzer itself
+//! (oracle #9, soundness): a hang-shaped failure on a program the
+//! analyzer reported clean fails the campaign, while a hang on a
+//! may-deadlock-flagged program is the static prediction coming true
+//! and is accepted (flagged programs run sim-only).
 //!
 //! The top-level driver is [`run_fuzz`]; the harness exposes it as the
 //! `fuzz` experiment (`ompvar-repro fuzz --fuzz-cases N --seed S`).
@@ -90,9 +97,9 @@ fn tally(cs: &[ompvar_rt::region::Construct], coverage: &mut BTreeMap<&'static s
     for c in cs {
         *coverage.entry(gen::construct_kind(c)).or_insert(0) += 1;
         match c {
-            Construct::ParallelRegion { body } | Construct::Repeat { body, .. } => {
-                tally(body, coverage)
-            }
+            Construct::ParallelRegion { body }
+            | Construct::Repeat { body, .. }
+            | Construct::Locked { body, .. } => tally(body, coverage),
             _ => {}
         }
     }

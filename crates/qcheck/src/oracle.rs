@@ -24,7 +24,16 @@
 //!    transient/permanent name round-trips, and it is never *permanent*
 //!    for a program that already validated — a permanent classification
 //!    means a structural error escaped `validate()` or the taxonomy
-//!    drifted (classification-totality oracle).
+//!    drifted (classification-totality oracle);
+//! 9. **soundness of the static analyzer**: a hang-shaped failure
+//!    (deadlock, simulated time limit, native deadline) on a program the
+//!    analyzer reported *clean* (no `Warn`-or-worse diagnostics) is a
+//!    fuzz failure — the analyzer missed a hazard it claims to
+//!    over-approximate. Conversely, a hang on a program the analyzer
+//!    flagged as may-deadlock (`OMPV104`/`OMPV105`/`OMPV110`/`OMPV111`)
+//!    is *accepted*: the static prediction came true. Flagged programs
+//!    run on the simulated backend only, where a deadlock is detected in
+//!    virtual time instead of burning a wall-clock deadline.
 
 use ompvar_rt::native::NativeRuntime;
 use ompvar_rt::region::RegionSpec;
@@ -110,6 +119,30 @@ fn check_classification(reasons: &mut Vec<String>, backend: &str, err: &ompvar_r
     }
 }
 
+/// Is this error hang-shaped — the dynamic outcome the may-deadlock
+/// analyses predict? Simulated deadlocks are detected exactly; a
+/// simulated time-limit or native deadline overrun is how a livelock or
+/// missed wakeup surfaces.
+fn is_hang(e: &ompvar_rt::RtError) -> bool {
+    use ompvar_sim::error::SimError;
+    matches!(
+        e,
+        ompvar_rt::RtError::Sim(
+            SimError::Deadlock { .. } | SimError::TimeLimitExceeded { .. }
+        ) | ompvar_rt::RtError::Timeout { .. }
+    )
+}
+
+/// Render an analyzer verdict for failure messages.
+fn verdict_str(analysis: &ompvar_analyze::Analysis) -> String {
+    let v: Vec<&'static str> = analysis.verdict().iter().map(|c| c.code()).collect();
+    if v.is_empty() {
+        "clean".to_string()
+    } else {
+        v.join(" ")
+    }
+}
+
 /// Check one violation category, pushing a reason string on mismatch.
 fn expect_eq(
     reasons: &mut Vec<String>,
@@ -128,57 +161,98 @@ fn expect_eq(
 /// list of violations; an empty list means the case passed.
 pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
     let mut reasons = Vec::new();
+    let analysis = ompvar_analyze::analyze(region);
     if let Err(e) = region.validate() {
         reasons.push(format!("generator contract violated: {e}"));
         return reasons;
     }
+    // Soundness oracle (#9) setup: a validated program may still carry
+    // Warn-severity may-deadlock diagnostics. Those predictions gate how
+    // a hang is judged below.
+    let may_deadlock = analysis.may_deadlock();
     let want = region.expected_effects();
 
-    // Simulated backend, twice: completion + determinism + effects.
+    // Simulated backend: completion + determinism + effects.
     let sim = sim_runtime(region.n_threads);
-    let sim_result = match (sim.run(region, seed), sim.run(region, seed)) {
-        (Ok(a), Ok(b)) => {
-            // f64 Debug is shortest-roundtrip, so equal strings mean
-            // bit-identical results.
-            if format!("{a:?}") != format!("{b:?}") {
-                reasons.push(format!(
-                    "sim replay with seed {seed} is not bit-identical"
-                ));
+    let sim_result = match sim.run(region, seed) {
+        Ok(a) => {
+            // Replay for the determinism oracle. f64 Debug is
+            // shortest-roundtrip, so equal strings mean bit-identical
+            // results.
+            match sim.run(region, seed) {
+                Ok(b) => {
+                    if format!("{a:?}") != format!("{b:?}") {
+                        reasons.push(format!(
+                            "sim replay with seed {seed} is not bit-identical"
+                        ));
+                    }
+                }
+                Err(e) => reasons.push(format!(
+                    "sim replay with seed {seed} failed where the first run succeeded: {e}"
+                )),
             }
             expect_eq(&mut reasons, "sim", &a.effects, &want);
             check_trace(&mut reasons, "sim", &a, region.n_threads);
             Some(a)
         }
-        (Err(e), _) | (_, Err(e)) => {
-            reasons.push(format!("sim backend failed: {e}"));
+        Err(e) => {
             check_classification(&mut reasons, "sim", &e);
+            if is_hang(&e) {
+                if !may_deadlock {
+                    reasons.push(format!(
+                        "soundness violation (oracle #9): sim hang on an \
+                         analyzer-clean program (verdict: {}): {e}",
+                        verdict_str(&analysis)
+                    ));
+                }
+                // A hang on a may-deadlock-flagged program is the static
+                // prediction coming true — accepted, not a failure.
+            } else {
+                reasons.push(format!("sim backend failed: {e}"));
+            }
             None
         }
     };
 
     // Native backend: completion + effects + violation counters.
-    let native_result = match native_runtime().run(region) {
-        Ok(r) => {
-            expect_eq(&mut reasons, "native", &r.effects, &want);
-            if r.effects.mutex_violations != 0 {
-                reasons.push(format!(
-                    "native observed {} mutual-exclusion violation(s)",
-                    r.effects.mutex_violations
-                ));
+    // May-deadlock-flagged programs are not run natively: a true
+    // deadlock there burns the full wall-clock deadline per case, and
+    // the simulated backend already adjudicates the prediction in
+    // virtual time.
+    let native_result = if may_deadlock {
+        None
+    } else {
+        match native_runtime().run(region) {
+            Ok(r) => {
+                expect_eq(&mut reasons, "native", &r.effects, &want);
+                if r.effects.mutex_violations != 0 {
+                    reasons.push(format!(
+                        "native observed {} mutual-exclusion violation(s)",
+                        r.effects.mutex_violations
+                    ));
+                }
+                if r.effects.ordered_violations != 0 {
+                    reasons.push(format!(
+                        "native observed {} ordered-sequence violation(s)",
+                        r.effects.ordered_violations
+                    ));
+                }
+                check_trace(&mut reasons, "native", &r, region.n_threads);
+                Some(r)
             }
-            if r.effects.ordered_violations != 0 {
-                reasons.push(format!(
-                    "native observed {} ordered-sequence violation(s)",
-                    r.effects.ordered_violations
-                ));
+            Err(e) => {
+                check_classification(&mut reasons, "native", &e);
+                if is_hang(&e) {
+                    reasons.push(format!(
+                        "soundness violation (oracle #9): native hang on an \
+                         analyzer-clean program (verdict: {}): {e}",
+                        verdict_str(&analysis)
+                    ));
+                } else {
+                    reasons.push(format!("native backend failed: {e}"));
+                }
+                None
             }
-            check_trace(&mut reasons, "native", &r, region.n_threads);
-            Some(r)
-        }
-        Err(e) => {
-            reasons.push(format!("native backend failed: {e}"));
-            check_classification(&mut reasons, "native", &e);
-            None
         }
     };
 
@@ -225,10 +299,48 @@ mod tests {
                     body_us: 0.1,
                     master_only: false,
                 },
+                Construct::Locked {
+                    lock: 3,
+                    body: vec![Construct::Atomic],
+                },
             ],
         )
         .expect("region is valid");
         let reasons = check_case(&region, 7);
+        assert!(reasons.is_empty(), "{reasons:#?}");
+    }
+
+    #[test]
+    fn may_deadlock_flagged_program_runs_sim_only_and_passes() {
+        // Opposite acquisition orders in two scopes: the analyzer flags
+        // OMPV110 (Warn) and the spec still validates. All threads move
+        // through the constructs in program order here, so the run
+        // completes — and must pass every oracle, with the native
+        // backend skipped.
+        let region = RegionSpec::new(
+            2,
+            vec![
+                Construct::Locked {
+                    lock: 0,
+                    body: vec![Construct::Locked {
+                        lock: 1,
+                        body: vec![Construct::DelayUs(0.1)],
+                    }],
+                },
+                Construct::Barrier,
+                Construct::Locked {
+                    lock: 1,
+                    body: vec![Construct::Locked {
+                        lock: 0,
+                        body: vec![Construct::DelayUs(0.1)],
+                    }],
+                },
+            ],
+        )
+        .expect("lock cycles are Warn-severity, so the spec validates");
+        let analysis = ompvar_analyze::analyze(&region);
+        assert!(analysis.may_deadlock(), "{}", analysis.render());
+        let reasons = check_case(&region, 11);
         assert!(reasons.is_empty(), "{reasons:#?}");
     }
 

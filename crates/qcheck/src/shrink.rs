@@ -7,6 +7,14 @@
 //! variant, until no single edit reproduces the failure or the predicate
 //! budget runs out. The result plus the case seed is a replayable
 //! minimal counterexample.
+//!
+//! Every shrink step re-runs both validation *and* static analysis: a
+//! candidate is only kept if it validates **and** carries the same
+//! analyzer verdict (the set of `Warn`-or-worse diagnostic codes) as the
+//! original failure. Shrinking never crosses a diagnostic class — a
+//! counterexample that failed *because* it was may-deadlock-flagged must
+//! stay flagged all the way down, or the minimal program would no longer
+//! reproduce the failure mode being reported.
 
 use ompvar_rt::region::{Construct, RegionSpec, Schedule};
 
@@ -19,6 +27,7 @@ pub fn shrink(
     budget: usize,
 ) -> RegionSpec {
     let mut cur = region.clone();
+    let target = ompvar_analyze::analyze(region).verdict();
     let mut calls = 0usize;
     'outer: loop {
         for cand in candidates(&cur) {
@@ -26,8 +35,13 @@ pub fn shrink(
                 break 'outer;
             }
             // Never hand the predicate a malformed program: shrinking
-            // must stay inside the validated grammar.
-            if cand.validate().is_err() || cand == cur {
+            // must stay inside the validated grammar. And never shrink
+            // across a diagnostic class: the minimal program must carry
+            // the same analyzer verdict as the original failure.
+            if cand.validate().is_err()
+                || cand == cur
+                || ompvar_analyze::analyze(&cand).verdict() != target
+            {
                 continue;
             }
             calls += 1;
@@ -42,10 +56,22 @@ pub fn shrink(
 }
 
 /// A replayable dump of a counterexample: the seed to pass back via
-/// `--seed` plus the (shrunk) program.
+/// `--seed`, the analyzer verdict the shrink preserved, and the (shrunk)
+/// program.
 pub fn dump(region: &RegionSpec, case_seed: u64) -> String {
+    let verdict: Vec<&'static str> = ompvar_analyze::analyze(region)
+        .verdict()
+        .iter()
+        .map(|c| c.code())
+        .collect();
+    let verdict = if verdict.is_empty() {
+        "clean".to_string()
+    } else {
+        verdict.join(" ")
+    };
     format!(
         "replay with: ompvar-repro fuzz --fuzz-cases 1 --seed {case_seed}\n\
+         analyzer verdict: {verdict}\n\
          minimal program ({} threads): {:?}",
         region.n_threads, region.constructs
     )
@@ -130,6 +156,18 @@ fn block_edits(cs: &[Construct]) -> Vec<Vec<Construct>> {
                 out.push(splice(i, body.clone()));
                 for b in block_edits(body) {
                     out.push(splice(i, vec![Construct::ParallelRegion { body: b }]));
+                }
+            }
+            Construct::Locked { lock, body } => {
+                out.push(splice(i, body.clone()));
+                for b in block_edits(body) {
+                    out.push(splice(
+                        i,
+                        vec![Construct::Locked {
+                            lock: *lock,
+                            body: b,
+                        }],
+                    ));
                 }
             }
             Construct::ParallelFor {
@@ -290,5 +328,51 @@ mod tests {
         let d = dump(&region, 123);
         assert!(d.contains("--seed 123"), "{d}");
         assert!(d.contains("Barrier"), "{d}");
+        assert!(d.contains("analyzer verdict: clean"), "{d}");
+    }
+
+    #[test]
+    fn shrinking_preserves_the_analyzer_verdict() {
+        // AB vs BA acquisition orders across two scopes: OMPV110
+        // (lock-cycle, Warn). The predicate fails exactly on may-deadlock
+        // programs, so every kept candidate must keep the cycle — the
+        // padding goes, the cycle stays.
+        let region = RegionSpec::new(
+            2,
+            vec![
+                Construct::DelayUs(1.0),
+                Construct::Locked {
+                    lock: 0,
+                    body: vec![Construct::Locked {
+                        lock: 1,
+                        body: vec![Construct::Atomic],
+                    }],
+                },
+                Construct::Barrier,
+                Construct::Locked {
+                    lock: 1,
+                    body: vec![Construct::Locked {
+                        lock: 0,
+                        body: vec![Construct::Atomic],
+                    }],
+                },
+                Construct::Critical { body_us: 0.2 },
+            ],
+        )
+        .expect("lock cycles are Warn-severity, so the spec validates");
+        let target = ompvar_analyze::analyze(&region).verdict();
+        assert!(!target.is_empty(), "expected a flagged program");
+        let shrunk = shrink(
+            &region,
+            &mut |r| ompvar_analyze::analyze(r).may_deadlock(),
+            2000,
+        );
+        assert_eq!(ompvar_analyze::analyze(&shrunk).verdict(), target);
+        assert!(
+            shrunk.constructs.len() < region.constructs.len(),
+            "{shrunk:?}"
+        );
+        let d = dump(&shrunk, 9);
+        assert!(d.contains("OMPV110"), "{d}");
     }
 }

@@ -24,13 +24,18 @@
 pub mod config;
 pub mod error;
 pub mod native;
-pub mod region;
 pub mod runner;
 pub mod simrt;
+
+/// The construct IR, re-exported from `ompvar-analyze`: the IR lives
+/// next to the static analyzer so the analyzer can be the single
+/// authority on program well-formedness; both backends consume its
+/// verdict through [`region::RegionSpec::validate`].
+pub use ompvar_analyze::region;
 
 pub use config::{RegionResult, RtConfig};
 pub use error::RtError;
 pub use native::NativeRuntime;
-pub use region::{Construct, RegionSpec, Schedule};
+pub use self::region::{Construct, RegionSpec, Schedule};
 pub use runner::RegionRunner;
 pub use simrt::{FreqLoggerCfg, SimRuntime};

@@ -304,7 +304,11 @@ impl NativeRuntime {
         region.validate().map_err(RtError::InvalidRegion)?;
         let n = region.n_threads;
         let mut objs = Vec::new();
-        allocate(&region.constructs, n, &mut objs);
+        // Named locks are shared across construct sites (equal ids alias
+        // one lock object), so they live in a side table keyed by id
+        // rather than in the traversal-ordered object table.
+        let mut named_locks: BTreeMap<u32, NativeLock> = BTreeMap::new();
+        allocate(&region.constructs, n, &mut objs, &mut named_locks);
 
         // Host topology for pinning: build a machine the size of this
         // host so place resolution has something to bind against. Places
@@ -320,6 +324,7 @@ impl NativeRuntime {
         std::thread::scope(|s| {
             for rank in 0..n {
                 let objs = &objs;
+                let named_locks = &named_locks;
                 let constructs = &region.constructs;
                 let marks = &marks;
                 let guard = &guard;
@@ -340,6 +345,7 @@ impl NativeRuntime {
                         local_marks: Vec::new(),
                         t0,
                         guard,
+                        named: named_locks,
                         trace: Tracer::new(tracing, rank, t0),
                     };
                     ctx.trace.begin(SpanKind::Region);
@@ -382,13 +388,18 @@ impl NativeRuntime {
             assert_eq!(b.len(), e.len(), "unpaired markers for interval {k}");
             intervals_us.insert(k, b.iter().zip(&e).map(|(b, e)| e - b).collect());
         }
+        let mut effects = harvest_effects(&objs);
+        for l in named_locks.values() {
+            effects.lock_entries += l.entries.load(Ordering::Acquire);
+            effects.mutex_violations += l.violations.load(Ordering::Acquire);
+        }
         Ok(RegionResult {
             intervals_us,
             wall_us,
             freq_samples: Vec::new(),
             counters: None,
             thread_stats: Vec::new(),
-            effects: harvest_effects(&objs),
+            effects,
             trace: tracing.then(|| team_trace.finish()),
         })
     }
@@ -427,6 +438,8 @@ struct ThreadCtx<'a> {
     t0: Instant,
     /// Shared run deadline consulted by every bounded wait.
     guard: &'a RunGuard,
+    /// Named-lock table shared by every `Locked` site with the same id.
+    named: &'a BTreeMap<u32, NativeLock>,
     /// Per-thread span recorder (a no-op when tracing is off).
     trace: Tracer,
 }
@@ -439,7 +452,12 @@ impl ThreadCtx<'_> {
 
 /// Allocate the object table in traversal order (mirrors the simulated
 /// backend's lowering so both execute identical structures).
-fn allocate(cs: &[Construct], n: usize, out: &mut Vec<NObj>) {
+fn allocate(
+    cs: &[Construct],
+    n: usize,
+    out: &mut Vec<NObj>,
+    named: &mut BTreeMap<u32, NativeLock>,
+) {
     for c in cs {
         match c {
             Construct::DelayUs(_)
@@ -482,11 +500,18 @@ fn allocate(cs: &[Construct], n: usize, out: &mut Vec<NObj>) {
                     SenseBarrier::new(n),
                     SenseBarrier::new(n),
                 ));
-                allocate(body, n, out);
+                allocate(body, n, out, named);
+            }
+            Construct::Locked { lock, body } => {
+                // The lock lives in the shared named table; the traversal
+                // slot stays occupied to keep indices aligned.
+                out.push(NObj::None);
+                named.entry(*lock).or_insert_with(NativeLock::new);
+                allocate(body, n, out, named);
             }
             Construct::Repeat { body, .. } => {
                 out.push(NObj::None);
-                allocate(body, n, out);
+                allocate(body, n, out, named);
             }
         }
     }
@@ -666,6 +691,40 @@ fn interpret(
                 if ctx.rank == 0 {
                     ctx.local_marks.push((2 * k + 1, ctx.now_us()));
                 }
+            }
+            Construct::Locked { lock, body } => {
+                let named = ctx.named;
+                let l = &named[lock];
+                // The locked span includes the wait to acquire, like a
+                // critical section. A blocking lock() would turn a missed
+                // static-deadlock prediction into a process hang, so spin
+                // on try_lock under the run guard instead.
+                ctx.trace.begin(SpanKind::Critical);
+                let mut spins = 0u32;
+                let g = loop {
+                    if let Some(g) = l.inner.try_lock() {
+                        break g;
+                    }
+                    spins = spins.wrapping_add(1);
+                    if spins.is_multiple_of(512) {
+                        if ctx.guard.expired() {
+                            ctx.trace.end(SpanKind::Critical);
+                            return Err("locked scope");
+                        }
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                };
+                if l.occupancy.fetch_add(1, Ordering::AcqRel) != 0 {
+                    l.violations.fetch_add(1, Ordering::Relaxed);
+                }
+                l.entries.fetch_add(1, Ordering::Relaxed);
+                let r = interpret(body, objs, ctx, idx);
+                l.occupancy.fetch_sub(1, Ordering::AcqRel);
+                drop(g);
+                ctx.trace.end(SpanKind::Critical);
+                r?;
             }
             Construct::Repeat { count, body } => {
                 let body_start = *idx;

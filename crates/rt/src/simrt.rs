@@ -18,7 +18,7 @@ use ompvar_sim::task::{CorunClass, ObjId, Op, Program, TaskId};
 use ompvar_sim::trace::{ObjEffects, SemanticEffects, SimReport};
 use ompvar_sim::time::{Time, SEC, US};
 use ompvar_topology::{assign_places, MachineSpec, ProcBind};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Frequency-logger configuration for simulated runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,6 +153,7 @@ impl SimRuntime {
             allocs: Vec::new(),
             next: 0,
             marker_pairs: BTreeSet::new(),
+            named_locks: BTreeMap::new(),
             combine_ns: 0.0,
         };
         lower.combine_ns = self.params.sync.reduction_combine_ns;
@@ -285,6 +286,15 @@ fn harvest_effects(allocs: &[Alloc], report: &SimReport) -> SemanticEffects {
                 fx.tasks_executed += executed;
                 barrier(&mut fx, b);
             }
+            Alloc::NamedLock(l, first) => {
+                // Later sites alias the first site's object; count once.
+                if first {
+                    let ObjEffects::Lock { entries } = get(l) else {
+                        unreachable!("allocation table out of sync: {l:?} is not a lock");
+                    };
+                    fx.lock_entries += entries;
+                }
+            }
         }
     }
     fx
@@ -302,6 +312,10 @@ enum Alloc {
     LockWithBarrier(ObjId, ObjId),
     RegionBarriers(ObjId, ObjId),
     PoolWithBarrier(ObjId, ObjId),
+    /// A named-lock scope. Equal lock ids share one object, so the flag
+    /// marks the *first* allocation site per id — harvesting counts a
+    /// shared object's entries once.
+    NamedLock(ObjId, bool),
 }
 
 struct Lowerer<'a> {
@@ -312,6 +326,7 @@ struct Lowerer<'a> {
     allocs: Vec<Alloc>,
     next: usize,
     marker_pairs: BTreeSet<u32>,
+    named_locks: BTreeMap<u32, ObjId>,
     combine_ns: f64,
 }
 
@@ -405,6 +420,19 @@ impl Lowerer<'_> {
                     let entry = self.sim.add_barrier(self.n_threads, self.span);
                     let exit = self.sim.add_barrier(self.n_threads, self.span);
                     self.allocs.push(Alloc::RegionBarriers(entry, exit));
+                    self.allocate(body);
+                    continue;
+                }
+                Construct::Locked { lock, body } => {
+                    let (obj, first) = match self.named_locks.get(lock) {
+                        Some(&o) => (o, false),
+                        None => {
+                            let o = self.sim.add_lock(self.span);
+                            self.named_locks.insert(*lock, o);
+                            (o, true)
+                        }
+                    };
+                    self.allocs.push(Alloc::NamedLock(obj, first));
                     self.allocate(body);
                     continue;
                 }
@@ -539,6 +567,12 @@ impl Lowerer<'_> {
                     if rank == 0 {
                         ops.push(Op::Mark { marker: 2 * k + 1 });
                     }
+                }
+                Construct::Locked { body, .. } => {
+                    let Alloc::NamedLock(l, _) = alloc else { unreachable!() };
+                    ops.push(Op::LockAcquire { obj: l });
+                    self.emit(body, rank, ops);
+                    ops.push(Op::LockRelease { obj: l });
                 }
                 Construct::Repeat { count, body } => {
                     ops.push(Op::LoopBegin { count: *count });

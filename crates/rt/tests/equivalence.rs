@@ -167,6 +167,54 @@ fn tasks_master_only() {
 }
 
 #[test]
+fn locked_scope() {
+    assert_equivalent(&region(vec![Construct::Locked {
+        lock: 0,
+        body: vec![Construct::DelayUs(0.3), Construct::Atomic],
+    }]));
+}
+
+#[test]
+fn locked_nested_distinct_locks() {
+    // Consistent acquisition order over two distinct named locks.
+    assert_equivalent(&region(vec![Construct::Locked {
+        lock: 0,
+        body: vec![Construct::Locked {
+            lock: 1,
+            body: vec![Construct::Critical { body_us: 0.1 }],
+        }],
+    }]));
+}
+
+#[test]
+fn locked_same_lock_across_sites() {
+    // Two scopes naming the same lock id alias one lock object; entry
+    // counts must not be double-harvested.
+    assert_equivalent(&region(vec![
+        Construct::Locked {
+            lock: 2,
+            body: vec![Construct::DelayUs(0.1)],
+        },
+        Construct::Barrier,
+        Construct::Locked {
+            lock: 2,
+            body: vec![Construct::DelayUs(0.1)],
+        },
+    ]));
+}
+
+#[test]
+fn locked_inside_repeat() {
+    assert_equivalent(&region(vec![Construct::Repeat {
+        count: 3,
+        body: vec![Construct::Locked {
+            lock: 1,
+            body: vec![Construct::Atomic],
+        }],
+    }]));
+}
+
+#[test]
 fn parallel_region_nested() {
     assert_equivalent(&region(vec![Construct::ParallelRegion {
         body: vec![Construct::Critical { body_us: 0.2 }, Construct::Barrier],

@@ -16,7 +16,9 @@
 //! | `SimError::EventBudgetExceeded` | transient | runaway-event backstop, same as above |
 //! | `SimError::ObjectTypeMismatch`| permanent | malformed program, retry cannot help   |
 //! | `RtError::Timeout`            | transient | native spin deadline, scheduler noise  |
-//! | `RtError::InvalidRegion`      | permanent | rejected before running                |
+//! | `RtError::InvalidRegion`      | permanent | rejected before running (every
+//!   `RegionError`, including the analyzer's `SelfNestedLock` and
+//!   `SyncUnderLock` lock-hazard rejections)                             |
 //! | panic payload                 | transient | treated like a crash of the worker     |
 
 use ompvar_rt::region::RegionError;
@@ -77,7 +79,9 @@ pub fn classify_region(e: &RegionError) -> Transience {
         | RegionError::ZeroChunk
         | RegionError::InvalidWork { .. }
         | RegionError::UnmatchedMark { .. }
-        | RegionError::RepeatedNowaitLoop => Transience::Permanent,
+        | RegionError::RepeatedNowaitLoop
+        | RegionError::SelfNestedLock { .. }
+        | RegionError::SyncUnderLock { .. } => Transience::Permanent,
     }
 }
 
@@ -155,6 +159,8 @@ mod tests {
             RegionError::InvalidWork { construct: "Tasks" },
             RegionError::UnmatchedMark { id: 3 },
             RegionError::RepeatedNowaitLoop,
+            RegionError::SelfNestedLock { lock: 1 },
+            RegionError::SyncUnderLock { construct: "Barrier" },
         ] {
             assert_eq!(classify_region(&e), Transience::Permanent, "{e}");
         }
