@@ -3,7 +3,8 @@
 //! ```text
 //! ompvar-repro [--fast] [--seed N] [--out DIR] [--trace FILE] \
 //!              [--report-json FILE] [--resume DIR] [--max-retries N] \
-//!              [--stability-cov X] <table2|fig1|...|trace|campaign|all>
+//!              [--jobs N] [--unit-timeout SECS] [--stability-cov X] \
+//!              <table2|fig1|...|trace|campaign|all>
 //! ```
 //!
 //! Each experiment prints its paper-style table(s), runs the shape checks
@@ -12,15 +13,21 @@
 //! trace file written by the `trace` experiment; `--report-json` writes
 //! a machine-readable summary of every table and check in the run.
 //!
-//! The whole sweep runs under the campaign supervisor
-//! (`ompvar-supervisor`): a panicking experiment is retried on a seeded
-//! deterministic backoff schedule and quarantined — reported as a
+//! The whole sweep runs on the fault-tolerant campaign executor
+//! (`ompvar-supervisor`): `--jobs N` shards the experiments across a
+//! work-stealing pool of N workers (`0` auto-detects; the default `1`
+//! preserves measurement fidelity), each journaling completed units into
+//! its own `ompvar-checkpoint/1` shard manifest under
+//! `<out>/checkpoint/` so a `kill -9` at any instant tears at most the
+//! final line of one shard. A panicking experiment is retried on a
+//! seeded deterministic backoff schedule and quarantined — reported as a
 //! synthesized FAIL check — only once its budget is exhausted, while the
-//! sweep continues. Every completed experiment is journaled to the
-//! `ompvar-checkpoint/1` manifest under `<out>/checkpoint/`, flushed
-//! atomically, so a killed run loses at most the experiment in flight:
-//! `--resume <dir>` replays the journaled experiments and re-runs only
-//! the rest, producing a byte-identical `--report-json` document. Ctrl-C
+//! sweep continues; `--unit-timeout SECS` arms a watchdog that reaps a
+//! hung attempt into the same retry path. `--resume <dir>` merges the
+//! shard manifests deterministically, replays the journaled experiments
+//! and re-runs only the rest, producing a `--report-json` document
+//! byte-identical to an uninterrupted run regardless of worker count or
+//! crash history. Ctrl-C stops every worker at the next unit boundary,
 //! flushes a partial report marked `"interrupted": true` and exits 130.
 
 use ompvar_harness::{
@@ -28,7 +35,8 @@ use ompvar_harness::{
     fig67, fuzz_exp, table2, taskbench_exp, trace_exp, Check, ExpOptions, ExpReport,
 };
 use ompvar_supervisor::{
-    atomic_write, attempt_seed, Header, Manifest, Outcome, Supervisor, SupervisorConfig, UnitError,
+    atomic_write, attempt_seed, create_shards, resolve_jobs, resume_shards, run_campaign,
+    ExecUnit, ExecutorConfig, Header, Outcome, SupervisorConfig, UnitError, UnitResult,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
@@ -64,7 +72,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ompvar-repro [--fast] [--seed N] [--out DIR] [--fuzz-cases N] \
          [--trace FILE] [--report-json FILE] [--resume DIR] [--max-retries N] \
-         [--stability-cov X] <{}|all>",
+         [--jobs N] [--unit-timeout SECS] [--stability-cov X] <{}|all>",
         EXPERIMENTS.join("|")
     );
     std::process::exit(2);
@@ -147,12 +155,12 @@ fn write_report(opts: &ExpOptions, interrupted: bool, reports: &[ExpReport]) -> 
     }
 }
 
-/// Flush the supervisor's own Chrome trace (attempt spans, retry /
-/// quarantine / resume / checkpoint instants) next to the manifest.
-fn write_supervisor_trace(sup: &mut Supervisor, opts: &ExpOptions) {
-    let trace = sup.take_trace();
+/// Flush the executor's merged Chrome trace (attempt spans, retry /
+/// quarantine / timeout / resume / checkpoint instants, one lane per
+/// worker) next to the manifest.
+fn write_supervisor_trace(trace: &ompvar_obs::Trace, opts: &ExpOptions) {
     let path = opts.checkpoint_dir().join("supervisor.json");
-    let doc = ompvar_obs::chrome_trace(&trace, &[], "ompvar-supervisor");
+    let doc = ompvar_obs::chrome_trace_lanes(trace, &[], "ompvar-supervisor", "worker");
     if let Err(e) = atomic_write(&path, doc.as_bytes()) {
         eprintln!("warning: could not write supervisor trace {}: {e}", path.display());
     }
@@ -193,6 +201,26 @@ fn main() -> ExitCode {
             "--max-retries" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.max_retries = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let n: usize = v.parse().unwrap_or_else(|_| usage());
+                // 0 means auto-detect; anything past 1024 is a typo, not
+                // a machine.
+                if n > 1024 {
+                    eprintln!("error: --jobs {n} is out of range (max 1024, 0 = auto)");
+                    usage();
+                }
+                opts.jobs = n;
+            }
+            "--unit-timeout" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let secs: f64 = v.parse().unwrap_or_else(|_| usage());
+                if !secs.is_finite() || secs <= 0.0 {
+                    eprintln!("error: --unit-timeout must be a positive number of seconds");
+                    usage();
+                }
+                opts.unit_timeout = Some(std::time::Duration::from_secs_f64(secs));
             }
             "--stability-cov" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -235,24 +263,28 @@ fn main() -> ExitCode {
         seen
     };
 
-    // The campaign supervisor and its checkpoint manifest. A resumed
-    // campaign must describe the same work: seed, mode and target list
-    // are validated against the manifest header.
+    // The campaign executor and its sharded checkpoint manifests. A
+    // resumed campaign must describe the same work: seed, mode and
+    // target list are validated against every shard's header. Shard 0 is
+    // the legacy `manifest.jsonl`, so sequential checkpoints from older
+    // runs resume unchanged.
+    let jobs = resolve_jobs(opts.jobs);
     let header = Header {
         seed: opts.seed,
         fast: opts.fast,
         targets: names.iter().map(|s| s.to_string()).collect(),
     };
-    let manifest_path = opts.checkpoint_dir().join("manifest.jsonl");
-    let manifest = if opts.resume.is_some() {
-        match Manifest::open_resume(&manifest_path, &header) {
-            Ok(m) => {
+    let ckpt_dir = opts.checkpoint_dir();
+    let manifest_path = ckpt_dir.join("manifest.jsonl");
+    let (manifests, replay) = if opts.resume.is_some() {
+        match resume_shards(&ckpt_dir, "manifest", &header, jobs) {
+            Ok((ms, merged)) => {
                 println!(
                     "resuming from {} ({} completed experiment(s))",
                     manifest_path.display(),
-                    m.entries().len()
+                    merged.len()
                 );
-                Some(m)
+                (Some(ms), merged)
             }
             Err(e) => {
                 eprintln!("error: cannot resume from {}: {e}", manifest_path.display());
@@ -260,92 +292,112 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        match Manifest::create(&manifest_path, header) {
-            Ok(m) => Some(m),
+        match create_shards(&ckpt_dir, "manifest", &header, jobs) {
+            Ok(ms) => (Some(ms), Vec::new()),
             Err(e) => {
                 eprintln!(
                     "warning: no checkpoint manifest at {}: {e}; running unjournaled",
                     manifest_path.display()
                 );
-                None
+                (None, Vec::new())
             }
         }
     };
-    let mut sup = Supervisor::new(SupervisorConfig {
-        seed: opts.seed,
-        max_retries: opts.max_retries.unwrap_or(2),
-        sleep: true,
-        ..SupervisorConfig::default()
-    });
-    if let Some(m) = manifest {
-        sup = sup.with_manifest(m);
-    }
-
-    let mut all_ok = true;
-    let mut reports = Vec::new();
-    for name in names {
-        if INTERRUPTED.load(Ordering::SeqCst) {
-            eprintln!("interrupted: flushing partial report and checkpoint manifest");
-            write_supervisor_trace(&mut sup, &opts);
-            write_report(&opts, true, &reports);
-            std::process::exit(130);
-        }
-        let t0 = std::time::Instant::now();
-        // Static pre-flight gate: analyze the experiment's built-in
-        // region specs before running anything. An Error-severity
-        // finding is structural — the supervisor records it as a
-        // permanently-failed unit (quarantined, journaled in the
-        // checkpoint manifest, a FAIL check in the JSON report) without
-        // spending the experiment's wall-clock budget.
-        let rejected = analyze_exp::preflight_specs(name, &opts)
-            .into_iter()
-            .find_map(|(label, spec)| {
-                ompvar_analyze::analyze(&spec)
-                    .first_error()
-                    .map(|d| (label, d.render(), d.cause))
-            });
-        let outcome = match rejected {
-            Some((label, rendered, cause)) => {
-                eprintln!("preflight: {name} spec `{label}` statically rejected: {rendered}");
-                let cause = cause.expect("Error-severity diagnostics carry their RegionError");
-                sup.supervise(name, |_n| {
-                    Err::<ExpReport, _>(UnitError::from_rt(&ompvar_rt::RtError::InvalidRegion(
-                        cause,
-                    )))
-                })
-            }
-            None => sup.supervise(name, |n| attempt(name, &opts, n)),
-        };
-        let (report, note) = match outcome {
+    let cfg = ExecutorConfig {
+        jobs,
+        unit_timeout: opts.unit_timeout,
+        supervisor: SupervisorConfig {
+            seed: opts.seed,
+            max_retries: opts.max_retries.unwrap_or(2),
+            sleep: true,
+            ..SupervisorConfig::default()
+        },
+    };
+    let units: Vec<ExecUnit<ExpReport>> = names
+        .iter()
+        .map(|name| {
+            let name = name.to_string();
+            let opts = opts.clone();
+            ExecUnit::new(name.clone(), move |n| {
+                // Static pre-flight gate: analyze the experiment's
+                // built-in region specs before running anything. An
+                // Error-severity finding is structural — a permanent
+                // failure (quarantined, journaled, a FAIL check in the
+                // JSON report) that never spends the experiment's
+                // wall-clock budget.
+                let rejected = analyze_exp::preflight_specs(&name, &opts)
+                    .into_iter()
+                    .find_map(|(label, spec)| {
+                        ompvar_analyze::analyze(&spec)
+                            .first_error()
+                            .map(|d| (label, d.render(), d.cause))
+                    });
+                if let Some((label, rendered, cause)) = rejected {
+                    eprintln!("preflight: {name} spec `{label}` statically rejected: {rendered}");
+                    let cause =
+                        cause.expect("Error-severity diagnostics carry their RegionError");
+                    return Err(UnitError::from_rt(&ompvar_rt::RtError::InvalidRegion(cause)));
+                }
+                attempt(&name, &opts, n)
+            })
+        })
+        .collect();
+    // Stream each experiment's block (tables, CSV paths, timing line)
+    // the moment it reaches a terminal state. Stdout is locked per unit
+    // so blocks stay contiguous under `--jobs > 1`; with one worker the
+    // callback fires in canonical order, matching sequential output.
+    let progress = |r: &UnitResult<ExpReport>| {
+        let (rendered, csvs, note) = match &r.outcome {
             Outcome::Completed { value, attempts, from_checkpoint, .. } => {
-                let note = if from_checkpoint {
+                let note = if *from_checkpoint {
                     " [replayed from checkpoint]".to_string()
-                } else if attempts > 1 {
+                } else if *attempts > 1 {
                     format!(" [recovered after {attempts} attempts]")
                 } else {
                     String::new()
                 };
-                (value, note)
+                (value.render(), value.write_csvs(&opts.out_dir), note)
             }
             Outcome::Quarantined { retries, .. } => {
-                (quarantine_report(name, &retries), " [quarantined]".to_string())
+                let rep = quarantine_report(&r.name, retries);
+                (rep.render(), rep.write_csvs(&opts.out_dir), " [quarantined]".to_string())
             }
         };
-        print!("{}", report.render());
-        match report.write_csvs(&opts.out_dir) {
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let _ = write!(out, "{rendered}");
+        match csvs {
             Ok(paths) => {
                 for p in paths {
-                    println!("wrote {}", p.display());
+                    let _ = writeln!(out, "wrote {}", p.display());
                 }
             }
             Err(e) => eprintln!("warning: could not write CSVs: {e}"),
         }
-        println!("({name} took {:.1}s{note})\n", t0.elapsed().as_secs_f64());
+        let _ = writeln!(out, "({} took {:.1}s{note})\n", r.name, r.duration.as_secs_f64());
+    };
+    let run = run_campaign(
+        &cfg,
+        &units,
+        manifests,
+        &replay,
+        Some(&INTERRUPTED),
+        Some(&progress),
+    );
+    write_supervisor_trace(&run.trace, &opts);
+
+    let mut all_ok = true;
+    let mut reports = Vec::new();
+    for r in run.results {
+        let report = match r.outcome {
+            Outcome::Completed { value, .. } => value,
+            Outcome::Quarantined { retries, .. } => quarantine_report(&r.name, &retries),
+        };
         all_ok &= report.all_passed();
         reports.push(report);
     }
-    write_supervisor_trace(&mut sup, &opts);
-    if INTERRUPTED.load(Ordering::SeqCst) {
+    if run.interrupted {
         eprintln!("interrupted: flushing partial report and checkpoint manifest");
         write_report(&opts, true, &reports);
         std::process::exit(130);

@@ -17,11 +17,13 @@
 //!   supervisor must classify it as permanent and quarantine after one
 //!   attempt — retrying a validation failure is pure waste.
 //!
-//! The experiment journals cells to its own `ompvar-checkpoint/1`
-//! manifest and writes the supervisor's attempt spans and retry /
-//! quarantine instants as a Chrome trace, both under the campaign's
-//! checkpoint directory — the same artifacts `ompvar-repro` keeps per
-//! experiment, here demonstrated per cell.
+//! The cells run on the fault-tolerant campaign executor: `--jobs N`
+//! shards them across a work-stealing pool, each worker journaling into
+//! its own `ompvar-checkpoint/1` shard manifest (shard 0 is the legacy
+//! `campaign.jsonl`), and the executor's attempt spans and retry /
+//! quarantine instants are written as a per-worker-lane Chrome trace,
+//! all under the campaign's checkpoint directory — the same artifacts
+//! `ompvar-repro` keeps per experiment, here demonstrated per cell.
 
 use crate::common::{Check, ExpOptions, ExpReport, Platform};
 use ompvar_bench_epcc::{schedbench, EpccConfig};
@@ -33,8 +35,9 @@ use ompvar_sim::fault::FaultPlan;
 use ompvar_sim::params::SimParams;
 use ompvar_sim::time::{SEC, US};
 use ompvar_supervisor::{
-    attempt_seed, name_seed, stabilize, Backoff, Checkpointable, Header, Manifest, Outcome,
-    StabilityPolicy, Supervisor, SupervisorConfig, UnitError,
+    attempt_seed, create_shards, name_seed, resolve_jobs, resume_shards, run_campaign, stabilize,
+    Backoff, Checkpointable, ExecUnit, ExecutorConfig, Header, Outcome, StabilityPolicy,
+    SupervisorConfig, UnitError,
 };
 
 const PLATFORM: Platform = Platform::Vera;
@@ -143,92 +146,109 @@ pub fn run(opts: &ExpOptions) -> ExpReport {
         fast: opts.fast,
         targets: vec!["sterile".into(), "noisy".into(), "flaky".into(), "broken".into()],
     };
+    // Shard 0 is the legacy `campaign.jsonl`, so old sequential
+    // checkpoints resume unchanged. Only an explicit `--resume` replays
+    // an existing manifest; a fresh run truncates the shard set, so
+    // stale journals never mask new measurements.
+    let jobs = resolve_jobs(opts.jobs);
     let manifest_path = ckpt_dir.join("campaign.jsonl");
-    // Only an explicit `--resume` replays an existing manifest; a fresh
-    // run truncates it, so stale journals never mask new measurements.
     let opened = if opts.resume.is_some() {
-        Manifest::open_resume(&manifest_path, &header).map_err(|e| e.to_string())
+        resume_shards(&ckpt_dir, "campaign", &header, jobs)
+            .map(|(ms, merged)| (Some(ms), merged))
+            .map_err(|e| e.to_string())
     } else {
-        Manifest::create(&manifest_path, header.clone()).map_err(|e| e.to_string())
+        create_shards(&ckpt_dir, "campaign", &header, jobs)
+            .map(|ms| (Some(ms), Vec::new()))
+            .map_err(|e| e.to_string())
     };
-    let manifest = match opened {
-        Ok(m) => Some(m),
-        Err(e) => {
-            eprintln!(
-                "warning: no campaign manifest at {}: {e}; running unjournaled",
-                manifest_path.display()
-            );
-            Manifest::create(&manifest_path, header).ok()
-        }
-    };
-    let mut sup = Supervisor::new(sup_cfg);
-    if let Some(m) = manifest {
-        sup = sup.with_manifest(m);
-    }
+    let (manifests, replay) = opened.unwrap_or_else(|e| {
+        eprintln!(
+            "warning: no campaign manifest at {}: {e}; running unjournaled",
+            manifest_path.display()
+        );
+        (create_shards(&ckpt_dir, "campaign", &header, jobs).ok(), Vec::new())
+    });
 
-    let mut rows: Vec<CellRow> = Vec::new();
-    for cell in ["sterile", "noisy", "flaky", "broken"] {
-        let reg = if cell == "broken" { &broken_region } else { &good_region };
-        let outcome = sup.supervise(cell, |attempt| {
-            // Base repetitions under this attempt's seed stream; the
-            // adaptive pass extends unstable cells with extra seeds.
-            let seed0 = attempt_seed(opts.seed, attempt);
-            let mut base = Vec::with_capacity(base_runs);
-            for i in 0..base_runs {
-                base.push(measure(reg, cell, attempt, seed0.wrapping_add(i as u64))?);
-            }
-            let mut failed = None;
-            let st = stabilize(base, &policy, |i| {
-                match measure(reg, cell, attempt, seed0.wrapping_add((base_runs + i) as u64)) {
-                    Ok(x) => Some(x),
-                    Err(e) => {
-                        failed = Some(e);
-                        None
+    // Each cell is one executor unit; with `--jobs > 1` the cells run
+    // concurrently on the work-stealing pool, each under its own
+    // per-worker supervisor lane.
+    let seed = opts.seed;
+    let units: Vec<ExecUnit<CellResult>> = ["sterile", "noisy", "flaky", "broken"]
+        .into_iter()
+        .map(|cell| {
+            let reg =
+                if cell == "broken" { broken_region.clone() } else { good_region.clone() };
+            ExecUnit::new(cell, move |attempt| {
+                // Base repetitions under this attempt's seed stream; the
+                // adaptive pass extends unstable cells with extra seeds.
+                let seed0 = attempt_seed(seed, attempt);
+                let mut base = Vec::with_capacity(base_runs);
+                for i in 0..base_runs {
+                    base.push(measure(&reg, cell, attempt, seed0.wrapping_add(i as u64))?);
+                }
+                let mut failed = None;
+                let st = stabilize(base, &policy, |i| {
+                    match measure(&reg, cell, attempt, seed0.wrapping_add((base_runs + i) as u64))
+                    {
+                        Ok(x) => Some(x),
+                        Err(e) => {
+                            failed = Some(e);
+                            None
+                        }
+                    }
+                });
+                match failed {
+                    Some(e) => Err(e),
+                    None => Ok(CellResult { samples: st.samples }),
+                }
+            })
+        })
+        .collect();
+    let exec_cfg = ExecutorConfig { jobs, unit_timeout: opts.unit_timeout, supervisor: sup_cfg };
+    let run = run_campaign(&exec_cfg, &units, manifests, &replay, None, None);
+
+    let rows: Vec<CellRow> = run
+        .results
+        .into_iter()
+        .map(|r| {
+            let cell = ["sterile", "noisy", "flaky", "broken"][r.index];
+            match r.outcome {
+                Outcome::Completed { value, attempts, retries, .. } => {
+                    let (cov, _) = ompvar_supervisor::dispersion(&value.samples);
+                    CellRow {
+                        name: cell,
+                        status: "ok".into(),
+                        attempts,
+                        retries: retries.len(),
+                        backoff_ms: retries.iter().map(|r| r.backoff_ms).collect(),
+                        base: base_runs.min(value.samples.len()),
+                        extra: value.samples.len().saturating_sub(base_runs),
+                        cov,
+                        stable: cov <= policy.target_cov,
                     }
                 }
-            });
-            match failed {
-                Some(e) => Err(e),
-                None => Ok(CellResult { samples: st.samples }),
-            }
-        });
-        rows.push(match outcome {
-            Outcome::Completed { value, attempts, retries, .. } => {
-                let (cov, _) = ompvar_supervisor::dispersion(&value.samples);
-                CellRow {
+                Outcome::Quarantined { attempts, retries, .. } => CellRow {
                     name: cell,
-                    status: "ok".into(),
+                    status: format!(
+                        "quarantined ({})",
+                        retries.last().map_or("?", |r| r.transience.name())
+                    ),
                     attempts,
                     retries: retries.len(),
                     backoff_ms: retries.iter().map(|r| r.backoff_ms).collect(),
-                    base: base_runs.min(value.samples.len()),
-                    extra: value.samples.len().saturating_sub(base_runs),
-                    cov,
-                    stable: cov <= policy.target_cov,
-                }
+                    base: 0,
+                    extra: 0,
+                    cov: 0.0,
+                    stable: false,
+                },
             }
-            Outcome::Quarantined { attempts, retries, .. } => CellRow {
-                name: cell,
-                status: format!(
-                    "quarantined ({})",
-                    retries.last().map_or("?", |r| r.transience.name())
-                ),
-                attempts,
-                retries: retries.len(),
-                backoff_ms: retries.iter().map(|r| r.backoff_ms).collect(),
-                base: 0,
-                extra: 0,
-                cov: 0.0,
-                stable: false,
-            },
-        });
-    }
+        })
+        .collect();
 
-    // Supervisor trace: attempt spans + retry/quarantine instants, in
-    // the same Chrome format as the runtime traces.
-    let trace = sup.take_trace();
+    // Executor trace: attempt spans + retry/quarantine instants, one
+    // lane per worker, in the same Chrome format as the runtime traces.
     let trace_path = ckpt_dir.join("campaign.trace.json");
-    let doc = ompvar_obs::chrome_trace(&trace, &[], "campaign-supervisor");
+    let doc = ompvar_obs::chrome_trace_lanes(&run.trace, &[], "campaign-supervisor", "worker");
     if let Err(e) = ompvar_supervisor::atomic_write(&trace_path, doc.as_bytes()) {
         eprintln!("warning: could not write {}: {e}", trace_path.display());
     }

@@ -148,6 +148,14 @@ pub struct ExpOptions {
     /// (`--resume DIR`): completed experiments replay from the manifest
     /// instead of re-running.
     pub resume: Option<PathBuf>,
+    /// Worker threads for the campaign executor (`--jobs`). Defaults to
+    /// 1 — experiments here *measure*, and concurrent native runs
+    /// perturb each other's timing shapes; `--jobs 0` auto-detects for
+    /// throughput-oriented campaigns (fuzzing, CI smoke).
+    pub jobs: usize,
+    /// Per-unit wall-clock deadline enforced by the executor's watchdog
+    /// (`--unit-timeout SECS`); `None` disables reaping.
+    pub unit_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ExpOptions {
@@ -162,6 +170,8 @@ impl Default for ExpOptions {
             max_retries: None,
             stability_cov: None,
             resume: None,
+            jobs: 1,
+            unit_timeout: None,
         }
     }
 }

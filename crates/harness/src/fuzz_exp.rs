@@ -1,11 +1,15 @@
 //! The `fuzz` experiment: differential fuzzing of the two backends.
 //!
-//! Drives [`ompvar_qcheck::run_fuzz`]: every case draws a random
-//! well-formed region from the campaign seed, runs it on the simulated
-//! *and* the native runtime, and holds both to the statically predicted
-//! semantic effects of the construct tree (plus determinism of the sim
-//! and agreement of measured-interval shapes). Failures are shrunk to a
-//! minimal replayable counterexample.
+//! Drives [`ompvar_qcheck::run_fuzz_parallel`]: every case draws a
+//! random well-formed region from the campaign seed, runs it on the
+//! simulated *and* the native runtime, and holds both to the statically
+//! predicted semantic effects of the construct tree (plus determinism of
+//! the sim and agreement of measured-interval shapes). Failures are
+//! shrunk to a minimal replayable counterexample. `--jobs N` fans the
+//! cases across N worker threads; each case is a pure function of
+//! `(config, case index)`, so the report — and every check below — is
+//! identical at any job count, which oracle #10 verifies on a small
+//! side campaign.
 //!
 //! The case budget defaults to 200 (60 with `--fast`) and can be set
 //! with `--fuzz-cases N`; `--seed` picks the campaign base seed. A
@@ -20,7 +24,7 @@
 use crate::common::{Check, ExpOptions, ExpReport};
 use ompvar_core::Table;
 use ompvar_qcheck::gen::{self, GenConfig, ALL_KINDS};
-use ompvar_qcheck::{case_seed, run_fuzz, shrink, FuzzConfig};
+use ompvar_qcheck::{case_seed, oracle, run_fuzz_parallel, shrink, FuzzConfig};
 use ompvar_rt::region::Construct;
 
 /// Does the block contain a `Reduction` at any nesting depth?
@@ -71,7 +75,7 @@ pub fn run(opts: &ExpOptions) -> ExpReport {
         base_seed: opts.seed,
         gen: GenConfig::default(),
     };
-    let rep = run_fuzz(&cfg);
+    let rep = run_fuzz_parallel(&cfg, ompvar_supervisor::resolve_jobs(opts.jobs));
 
     let mut t = Table::new(
         &format!(
@@ -148,6 +152,26 @@ pub fn run(opts: &ExpOptions) -> ExpReport {
         "shrinker reduces a broken-oracle failure to one construct",
         minimal,
         demo_detail,
+    ));
+
+    // Oracle #10 on a small side campaign: the parallel driver must
+    // produce a byte-identical report to the sequential one. A bounded
+    // budget keeps this a structural check on the drivers, not a second
+    // full campaign.
+    let equiv_cfg = FuzzConfig {
+        cases: cases.min(16),
+        base_seed: opts.seed,
+        gen: GenConfig::default(),
+    };
+    let violations = oracle::check_jobs_equivalence(&equiv_cfg, 8);
+    checks.push(Check::new(
+        "parallel fuzz driver reports identically to sequential (oracle #10)",
+        violations.is_empty(),
+        if violations.is_empty() {
+            format!("{} case(s) at jobs=1 vs jobs=8: reports identical", equiv_cfg.cases)
+        } else {
+            violations.join("; ")
+        },
     ));
 
     ExpReport {

@@ -388,6 +388,173 @@ fn sigint_flushes_partial_report_and_exits_130() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+/// The crash matrix, end to end: a multi-worker campaign killed with
+/// SIGKILL mid-flight and resumed (still multi-worker) produces a
+/// `--report-json` document byte-identical to an uninterrupted
+/// single-worker run's — the executor's merge order, not the steal
+/// schedule or crash point, determines the report.
+#[test]
+fn parallel_kill_then_resume_matches_sequential_report() {
+    let base = std::env::temp_dir().join("ompvar_cli_par_resume");
+    std::fs::remove_dir_all(&base).ok();
+    let targets = ["fig2", "table2", "fig4"];
+
+    // Uninterrupted sequential reference.
+    let ref_dir = base.join("ref");
+    let ref_json = base.join("ref.json");
+    let out = repro()
+        .args(["--fast", "--seed", "3", "--jobs", "1", "--out"])
+        .arg(&ref_dir)
+        .arg("--report-json")
+        .arg(&ref_json)
+        .args(targets)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Same campaign on 3 workers, killed after the first checkpoint.
+    let kill_dir = base.join("kill");
+    let kill_json = base.join("kill.json");
+    let mut child = repro()
+        .args(["--fast", "--seed", "3", "--jobs", "3", "--out"])
+        .arg(&kill_dir)
+        .arg("--report-json")
+        .arg(&kill_json)
+        .args(targets)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    wait_for_lines(&kill_dir.join("checkpoint").join("manifest.jsonl"), 2);
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reaped");
+    assert_no_tmp_residue(&base);
+
+    // Resume on 3 workers again: journaled units replay from the shard
+    // merge, the rest re-run.
+    let out = repro()
+        .args(["--fast", "--seed", "3", "--jobs", "3", "--out"])
+        .arg(&kill_dir)
+        .arg("--report-json")
+        .arg(&kill_json)
+        .arg("--resume")
+        .arg(kill_dir.join("checkpoint"))
+        .args(targets)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("replayed from checkpoint"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&ref_json).expect("reference report"),
+        std::fs::read(&kill_json).expect("resumed report"),
+        "parallel resumed report differs from sequential uninterrupted run"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// `--jobs` validation: non-numeric and out-of-range counts are usage
+/// errors before anything runs; `--jobs 0` auto-detects and works.
+#[test]
+fn jobs_flag_is_validated() {
+    for bad in [&["--jobs", "three"][..], &["--jobs", "2000"][..], &["--jobs"][..]] {
+        let out = repro().args(bad).arg("fig2").output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "args {bad:?}"
+        );
+    }
+    let out_dir = std::env::temp_dir().join("ompvar_cli_jobs_auto");
+    let out = repro()
+        .args(["--fast", "--jobs", "0", "--out"])
+        .arg(&out_dir)
+        .arg("fig2")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+/// `--unit-timeout` rejects junk, and an impossibly small deadline
+/// reaps every attempt: the campaign quarantines the experiment and
+/// finishes (exit 1 for the FAIL check) instead of hanging.
+#[test]
+fn unit_timeout_reaps_and_quarantines_without_hanging() {
+    for bad in [&["--unit-timeout", "abc"][..], &["--unit-timeout", "-1"][..]] {
+        let out = repro().args(bad).arg("fig2").output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+    }
+    let out_dir = std::env::temp_dir().join("ompvar_cli_timeout");
+    std::fs::remove_dir_all(&out_dir).ok();
+    let out = repro()
+        .args([
+            "--fast",
+            "--seed",
+            "3",
+            "--unit-timeout",
+            "0.000001",
+            "--max-retries",
+            "1",
+            "--out",
+        ])
+        .arg(&out_dir)
+        .arg("fig2")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The campaign must terminate on its own with the quarantine FAIL
+    // check — a hung watchdog would trip the harness timeout instead.
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("[quarantined]"), "{stdout}");
+    assert!(stdout.contains("[FAIL]"), "{stdout}");
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+/// SIGINT with a multi-worker pool: every worker stops at its next unit
+/// boundary, every shard manifest on disk is complete and parseable,
+/// and the partial report still lands atomically with exit 130.
+#[test]
+fn parallel_sigint_flushes_all_shards_and_exits_130() {
+    let base = std::env::temp_dir().join("ompvar_cli_par_sigint");
+    std::fs::remove_dir_all(&base).ok();
+    let report = base.join("partial.json");
+    let mut child = repro()
+        .args(["--fast", "--seed", "3", "--jobs", "2", "--out"])
+        .arg(&base)
+        .arg("--report-json")
+        .arg(&report)
+        .args(["fig2", "table2", "fig3", "fig4"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    wait_for_lines(&base.join("checkpoint").join("manifest.jsonl"), 2);
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let status = child.wait().expect("reaped");
+    assert_eq!(status.code(), Some(130), "{status:?}");
+    let v = parse(&std::fs::read_to_string(&report).expect("partial report written"))
+        .expect("partial report parses");
+    assert_eq!(v.get("interrupted").and_then(Value::as_bool), Some(true));
+    // Every shard manifest is line-complete JSON: the interrupt flushed
+    // them at a unit boundary, never mid-append.
+    let ckpt = base.join("checkpoint");
+    for shard in [ckpt.join("manifest.jsonl"), ckpt.join("manifest.shard-1.jsonl")] {
+        let text = std::fs::read_to_string(&shard)
+            .unwrap_or_else(|e| panic!("{}: {e}", shard.display()));
+        assert!(text.ends_with('\n'), "torn tail in {}", shard.display());
+        for line in text.lines() {
+            parse(line).unwrap_or_else(|e| panic!("{}: {e}: {line}", shard.display()));
+        }
+    }
+    assert_no_tmp_residue(&base);
+    std::fs::remove_dir_all(&base).ok();
+}
+
 /// The fuzz experiment honors `--fuzz-cases` and passes on a small
 /// fixed-seed campaign.
 #[test]

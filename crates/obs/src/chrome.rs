@@ -44,6 +44,19 @@ fn fmt_f32(v: f32) -> String {
 /// `label` names the process in the viewer (it is escaped, so any string
 /// is safe).
 pub fn chrome_trace(trace: &Trace, freq_ghz: &[(u64, Vec<f32>)], label: &str) -> String {
+    chrome_trace_lanes(trace, freq_ghz, label, "omp thread")
+}
+
+/// [`chrome_trace`] with a custom per-lane thread-name prefix. The
+/// parallel campaign executor exports its merged supervisor trace with
+/// prefix `"worker"`, so the viewer shows `worker 0`, `worker 1`, …
+/// tracks instead of mislabelling executor lanes as OpenMP threads.
+pub fn chrome_trace_lanes(
+    trace: &Trace,
+    freq_ghz: &[(u64, Vec<f32>)],
+    label: &str,
+    lane_prefix: &str,
+) -> String {
     let mut out = String::new();
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     let mut first = true;
@@ -71,7 +84,7 @@ pub fn chrome_trace(trace: &Trace, freq_ghz: &[(u64, Vec<f32>)], label: &str) ->
         let name = if t == THREAD_GLOBAL {
             "runtime events".to_string()
         } else {
-            format!("omp thread {t}")
+            format!("{lane_prefix} {t}")
         };
         push(
             &mut out,
@@ -205,6 +218,17 @@ mod tests {
         let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
         let name = events[0].get("args").unwrap().get("name").and_then(Value::as_str);
         assert_eq!(name, Some("we \"said\" \\ hi\n"));
+    }
+
+    #[test]
+    fn lane_prefix_renames_thread_tracks_only() {
+        let doc = chrome_trace_lanes(&demo_trace(), &[], "exec", "worker");
+        parse(&doc).expect("valid JSON");
+        assert!(doc.contains("\"name\":\"worker 0\""), "{doc}");
+        assert!(doc.contains("\"name\":\"runtime events\""), "{doc}");
+        assert!(!doc.contains("omp thread"), "{doc}");
+        // The default entry point is unchanged.
+        assert!(chrome_trace(&demo_trace(), &[], "x").contains("\"name\":\"omp thread 0\""));
     }
 
     #[test]

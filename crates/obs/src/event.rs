@@ -93,11 +93,16 @@ pub enum InstantKind {
     SupervisorResume,
     /// The campaign supervisor flushed the checkpoint manifest.
     SupervisorCheckpoint,
+    /// The executor's watchdog reaped a unit attempt that exceeded its
+    /// wall-clock deadline.
+    SupervisorTimeout,
+    /// An executor worker stole a unit from another worker's queue.
+    SupervisorSteal,
 }
 
 impl InstantKind {
     /// Every kind, in display order.
-    pub const ALL: [InstantKind; 7] = [
+    pub const ALL: [InstantKind; 9] = [
         InstantKind::NoisePreemption,
         InstantKind::FaultInjection,
         InstantKind::FreqRetarget,
@@ -105,6 +110,8 @@ impl InstantKind {
         InstantKind::SupervisorQuarantine,
         InstantKind::SupervisorResume,
         InstantKind::SupervisorCheckpoint,
+        InstantKind::SupervisorTimeout,
+        InstantKind::SupervisorSteal,
     ];
 
     /// Stable lower-case name; also the Chrome trace-event name.
@@ -117,6 +124,8 @@ impl InstantKind {
             InstantKind::SupervisorQuarantine => "supervisor_quarantine",
             InstantKind::SupervisorResume => "supervisor_resume",
             InstantKind::SupervisorCheckpoint => "supervisor_checkpoint",
+            InstantKind::SupervisorTimeout => "supervisor_timeout",
+            InstantKind::SupervisorSteal => "supervisor_steal",
         }
     }
 }

@@ -42,7 +42,7 @@ pub mod metrics;
 pub mod record;
 pub mod wellformed;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_lanes};
 pub use event::{
     EventKind, InstantKind, Span, SpanKind, Trace, TraceEvent, CORE_UNKNOWN, THREAD_GLOBAL,
 };

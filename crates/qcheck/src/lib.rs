@@ -15,8 +15,11 @@
 //! may-deadlock-flagged program is the static prediction coming true
 //! and is accepted (flagged programs run sim-only).
 //!
-//! The top-level driver is [`run_fuzz`]; the harness exposes it as the
-//! `fuzz` experiment (`ompvar-repro fuzz --fuzz-cases N --seed S`).
+//! The top-level drivers are [`run_fuzz`] and its multi-threaded twin
+//! [`run_fuzz_parallel`] (cases self-scheduled off an atomic counter,
+//! report merged deterministically — oracle #10 holds the two to
+//! byte-identical reports); the harness exposes them as the `fuzz`
+//! experiment (`ompvar-repro fuzz --fuzz-cases N --seed S --jobs J`).
 
 #![warn(missing_docs)]
 
@@ -59,7 +62,7 @@ pub fn case_seed(base: u64, case: u64) -> u64 {
 }
 
 /// One failing case: the program, why it failed, and its shrunk form.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuzzFailure {
     /// Index of the case within the campaign.
     pub case: u64,
@@ -74,7 +77,7 @@ pub struct FuzzFailure {
 }
 
 /// Outcome of a fuzzing campaign.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FuzzReport {
     /// Cases executed.
     pub cases: u64,
@@ -109,6 +112,36 @@ fn tally(cs: &[ompvar_rt::region::Construct], coverage: &mut BTreeMap<&'static s
 /// runs both backends, so this bounds shrink time to a few seconds.
 const SHRINK_BUDGET: usize = 300;
 
+/// Run one case end to end: generate, tally coverage into `coverage`,
+/// check every oracle, shrink on failure. Pure function of
+/// `(cfg, case)`, which is what makes the parallel driver's report
+/// identical to the sequential one.
+fn run_case(
+    cfg: &FuzzConfig,
+    case: u64,
+    coverage: &mut BTreeMap<&'static str, u64>,
+) -> Option<FuzzFailure> {
+    let seed = case_seed(cfg.base_seed, case);
+    let region = gen::generate(seed, &cfg.gen);
+    tally(&region.constructs, coverage);
+    let reasons = oracle::check_case(&region, seed);
+    if reasons.is_empty() {
+        return None;
+    }
+    let shrunk = shrink::shrink(
+        &region,
+        &mut |r| !oracle::check_case(r, seed).is_empty(),
+        SHRINK_BUDGET,
+    );
+    Some(FuzzFailure {
+        case,
+        case_seed: seed,
+        region,
+        reasons,
+        shrunk,
+    })
+}
+
 /// Run a fuzzing campaign: generate, differentially check, and shrink
 /// every failure.
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
@@ -117,25 +150,62 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         ..FuzzReport::default()
     };
     for case in 0..cfg.cases {
-        let seed = case_seed(cfg.base_seed, case);
-        let region = gen::generate(seed, &cfg.gen);
-        tally(&region.constructs, &mut report.coverage);
-        let reasons = oracle::check_case(&region, seed);
-        if !reasons.is_empty() {
-            let shrunk = shrink::shrink(
-                &region,
-                &mut |r| !oracle::check_case(r, seed).is_empty(),
-                SHRINK_BUDGET,
-            );
-            report.failures.push(FuzzFailure {
-                case,
-                case_seed: seed,
-                region,
-                reasons,
-                shrunk,
-            });
+        if let Some(f) = run_case(cfg, case, &mut report.coverage) {
+            report.failures.push(f);
         }
     }
+    report
+}
+
+/// Run a fuzzing campaign across `jobs` worker threads.
+///
+/// Workers self-schedule cases off a shared atomic counter, tally
+/// coverage and collect failures locally, and the locals are merged
+/// afterwards (coverage added, failures sorted by case index). Each case
+/// is a pure function of `(cfg, case)`, so the report is **identical**
+/// to [`run_fuzz`]'s regardless of `jobs` — oracle #10
+/// ([`oracle::check_jobs_equivalence`]) holds the drivers to exactly
+/// that.
+pub fn run_fuzz_parallel(cfg: &FuzzConfig, jobs: usize) -> FuzzReport {
+    let jobs = jobs.max(1);
+    if jobs == 1 {
+        return run_fuzz(cfg);
+    }
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let next = AtomicU64::new(0);
+    let mut report = FuzzReport {
+        cases: cfg.cases,
+        ..FuzzReport::default()
+    };
+    let locals: Vec<(BTreeMap<&'static str, u64>, Vec<FuzzFailure>)> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut coverage = BTreeMap::new();
+                        let mut failures = Vec::new();
+                        loop {
+                            let case = next.fetch_add(1, Ordering::Relaxed);
+                            if case >= cfg.cases {
+                                break;
+                            }
+                            if let Some(f) = run_case(cfg, case, &mut coverage) {
+                                failures.push(f);
+                            }
+                        }
+                        (coverage, failures)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("fuzz worker")).collect()
+        });
+    for (coverage, failures) in locals {
+        for (k, v) in coverage {
+            *report.coverage.entry(k).or_insert(0) += v;
+        }
+        report.failures.extend(failures);
+    }
+    report.failures.sort_by_key(|f| f.case);
     report
 }
 
@@ -154,6 +224,22 @@ mod tests {
         assert_eq!(rep.cases, 5);
         assert!(rep.all_passed(), "failures: {:#?}", rep.failures);
         assert!(!rep.coverage.is_empty());
+    }
+
+    #[test]
+    fn parallel_campaign_report_equals_sequential() {
+        let cfg = FuzzConfig {
+            cases: 8,
+            base_seed: 42,
+            gen: GenConfig::default(),
+        };
+        let seq = run_fuzz(&cfg);
+        for jobs in [2, 4] {
+            let par = run_fuzz_parallel(&cfg, jobs);
+            assert_eq!(seq, par, "jobs={jobs}");
+        }
+        // jobs=1 short-circuits to the sequential driver.
+        assert_eq!(seq, run_fuzz_parallel(&cfg, 1));
     }
 
     #[test]

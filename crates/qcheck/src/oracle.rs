@@ -33,7 +33,14 @@
 //!    flagged as may-deadlock (`OMPV104`/`OMPV105`/`OMPV110`/`OMPV111`)
 //!    is *accepted*: the static prediction came true. Flagged programs
 //!    run on the simulated backend only, where a deadlock is detected in
-//!    virtual time instead of burning a wall-clock deadline.
+//!    virtual time instead of burning a wall-clock deadline;
+//! 10. **parallel-campaign equivalence**: a fuzz campaign sharded across
+//!     worker threads ([`crate::run_fuzz_parallel`]) must produce a
+//!     report identical to the sequential driver's — same coverage
+//!     tallies, same failures in the same order, same shrunk
+//!     counterexamples. Divergence means a case is not the pure function
+//!     of `(cfg, case)` the resumable executor relies on
+//!     ([`check_jobs_equivalence`]).
 
 use ompvar_rt::native::NativeRuntime;
 use ompvar_rt::region::RegionSpec;
@@ -272,6 +279,35 @@ pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
     reasons
 }
 
+/// Parallel-campaign equivalence oracle (#10): run the same campaign
+/// sequentially and across `jobs` workers and diff the reports. Returns
+/// the violations (empty = equivalent).
+pub fn check_jobs_equivalence(cfg: &crate::FuzzConfig, jobs: usize) -> Vec<String> {
+    let seq = crate::run_fuzz(cfg);
+    let par = crate::run_fuzz_parallel(cfg, jobs);
+    let mut reasons = Vec::new();
+    if seq.coverage != par.coverage {
+        reasons.push(format!(
+            "coverage diverges between --jobs 1 and --jobs {jobs}:\n    seq  {:?}\n    par  {:?}",
+            seq.coverage, par.coverage
+        ));
+    }
+    let seq_cases: Vec<u64> = seq.failures.iter().map(|f| f.case).collect();
+    let par_cases: Vec<u64> = par.failures.iter().map(|f| f.case).collect();
+    if seq_cases != par_cases {
+        reasons.push(format!(
+            "failing cases diverge between --jobs 1 and --jobs {jobs}: \
+             seq {seq_cases:?} vs par {par_cases:?}"
+        ));
+    } else if seq != par {
+        reasons.push(format!(
+            "reports diverge between --jobs 1 and --jobs {jobs} despite matching \
+             failure sets (reasons or shrunk counterexamples differ)"
+        ));
+    }
+    reasons
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +406,17 @@ mod tests {
         );
         assert_eq!(reasons.len(), 1);
         assert!(reasons[0].contains("permanent"), "{reasons:?}");
+    }
+
+    #[test]
+    fn jobs_equivalence_oracle_passes_on_a_small_campaign() {
+        let cfg = crate::FuzzConfig {
+            cases: 6,
+            base_seed: 20230714,
+            gen: crate::gen::GenConfig::default(),
+        };
+        let reasons = check_jobs_equivalence(&cfg, 4);
+        assert!(reasons.is_empty(), "{reasons:#?}");
     }
 
     #[test]

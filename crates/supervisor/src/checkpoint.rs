@@ -1,21 +1,31 @@
 //! The `ompvar-checkpoint/1` manifest: a JSONL journal of completed
-//! campaign units, written atomically after every completion so a
-//! `kill -9` at any instant leaves a loadable manifest.
+//! campaign units, crash-safe at every instant so a `kill -9` leaves a
+//! loadable manifest.
 //!
 //! Line 1 is the campaign header (seed, fast flag, target list); every
 //! further line is one finished unit — its status (`ok`/`quarantined`),
 //! attempt count, the retry ledger (error text, classification, backoff
 //! delay), and for successful units the checkpointed result payload that
 //! `--resume` replays instead of re-running the unit. Serialization goes
-//! through [`ompvar_obs::json`]; each append rewrites the whole file via
-//! temp-file+rename ([`crate::fsio::atomic_write`]) — manifests are a
-//! few KB, and atomicity beats append-throughput here.
+//! through [`ompvar_obs::json`]. The header is staged via
+//! temp-file+rename ([`crate::fsio::atomic_write`]); entries are then
+//! *appended* one line at a time and flushed, so journaling cost stays
+//! O(1) per unit at 100k-unit campaign scale. A `kill -9` mid-append can
+//! leave a truncated final line; [`Manifest::open_resume`] drops exactly
+//! that torn tail (the unit re-runs) while still rejecting mid-file
+//! corruption as fatal.
+//!
+//! A parallel campaign journals into one manifest *per worker shard*
+//! ([`create_shards`] / [`resume_shards`]) so concurrent appenders never
+//! contend on one file; on resume the shards are merged in deterministic
+//! order regardless of worker count or steal schedule.
 
 use crate::classify::Transience;
 use crate::fsio::atomic_write;
 use ompvar_obs::json::{self, Value};
 use std::fmt;
-use std::io;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 /// Manifest schema identifier, bumped on breaking format changes.
@@ -215,35 +225,62 @@ fn entry_from(v: &Value) -> Option<Entry> {
     })
 }
 
-/// A live manifest: the journal of one campaign run.
+/// A live manifest: the journal of one campaign run (or one worker
+/// shard of a parallel campaign).
 #[derive(Debug)]
 pub struct Manifest {
     path: PathBuf,
     header: Header,
     entries: Vec<Entry>,
+    /// Open append handle; re-opened on demand if an append fails.
+    file: Option<File>,
+    /// Whether `open_resume` dropped a torn final line (the unit it
+    /// described will simply re-run).
+    torn_tail: bool,
 }
 
 impl Manifest {
     /// Start a fresh campaign manifest at `path` (truncating any
-    /// previous one) and persist the header line.
+    /// previous one) and persist the header line atomically.
     pub fn create(path: &Path, header: Header) -> io::Result<Manifest> {
-        let m = Manifest { path: path.to_path_buf(), header, entries: Vec::new() };
-        m.flush()?;
-        Ok(m)
+        let mut doc = header_json(&header);
+        doc.push('\n');
+        atomic_write(path, doc.as_bytes())?;
+        let file = OpenOptions::new().append(true).open(path).ok();
+        Ok(Manifest { path: path.to_path_buf(), header, entries: Vec::new(), file, torn_tail: false })
     }
 
     /// Load an existing manifest for `--resume`, verifying it matches
     /// the live campaign `expect`ation.
+    ///
+    /// Torn-tail recovery: a `kill -9` mid-append leaves a truncated
+    /// final line with no trailing newline. Exactly that — an
+    /// unparseable *final* line that is not newline-terminated — is
+    /// dropped (and truncated off the file, so later appends stay
+    /// well-formed); the unit it described re-runs. Any malformed
+    /// newline-terminated line is mid-file corruption and stays fatal:
+    /// our appends always end in `\n`, so a complete garbage line can
+    /// only mean outside interference.
     pub fn open_resume(path: &Path, expect: &Header) -> Result<Manifest, CheckpointError> {
         let text = std::fs::read_to_string(path)?;
-        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        // Split off the torn-tail candidate: whatever follows the last
+        // newline. A partially flushed append is always a strict prefix
+        // of `<line>\n`, so it can never contain that final newline.
+        let complete_len = if text.ends_with('\n') {
+            text.len()
+        } else {
+            text.rfind('\n').map_or(0, |i| i + 1)
+        };
+        let (complete, tail) = text.split_at(complete_len);
+
+        let mut lines = complete.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let parse_line = |i: usize, l: &str| {
+            json::parse(l).map_err(|e| CheckpointError::Parse { line: i + 1, msg: e.to_string() })
+        };
         let (i, first) = lines.next().ok_or(CheckpointError::Parse {
             line: 1,
             msg: "empty manifest".to_string(),
         })?;
-        let parse_line = |i: usize, l: &str| {
-            json::parse(l).map_err(|e| CheckpointError::Parse { line: i + 1, msg: e.to_string() })
-        };
         let header = header_from(&parse_line(i, first)?).ok_or(CheckpointError::Parse {
             line: i + 1,
             msg: "first line is not an ompvar-checkpoint/1 campaign header".to_string(),
@@ -264,7 +301,39 @@ impl Manifest {
             })?;
             entries.push(e);
         }
-        Ok(Manifest { path: path.to_path_buf(), header, entries })
+
+        let mut torn_tail = false;
+        if !tail.trim().is_empty() {
+            // An un-terminated final line. If it still parses as a
+            // complete unit record, only the newline is missing — accept
+            // the entry and restore the terminator so later appends
+            // don't concatenate onto it.
+            match json::parse(tail).ok().as_ref().and_then(entry_from) {
+                Some(e) => {
+                    entries.push(e);
+                    let mut f = OpenOptions::new().append(true).open(path)?;
+                    f.write_all(b"\n")?;
+                }
+                None => {
+                    // The torn append of a killed run: drop it and
+                    // truncate it off so future appends are well-formed.
+                    eprintln!(
+                        "warning: dropping torn final line ({} byte(s)) of {}; \
+                         the interrupted unit will re-run",
+                        tail.len(),
+                        path.display()
+                    );
+                    OpenOptions::new()
+                        .write(true)
+                        .open(path)?
+                        .set_len(complete_len as u64)?;
+                    torn_tail = true;
+                }
+            }
+        }
+
+        let file = OpenOptions::new().append(true).open(path).ok();
+        Ok(Manifest { path: path.to_path_buf(), header, entries, file, torn_tail })
     }
 
     /// Manifest location on disk.
@@ -282,16 +351,29 @@ impl Manifest {
         &self.entries
     }
 
+    /// Whether loading this manifest dropped a torn final line.
+    pub fn recovered_torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
     /// The journaled terminal state of `name`, if it already finished.
     pub fn completed(&self, name: &str) -> Option<&Entry> {
         self.entries.iter().find(|e| e.name == name)
     }
 
-    /// Journal one finished unit and flush the whole manifest
-    /// atomically.
+    /// Journal one finished unit: append one JSONL line and flush. A
+    /// kill at any instant leaves either the complete line or a torn
+    /// tail that [`Manifest::open_resume`] recovers from.
     pub fn append(&mut self, entry: Entry) -> io::Result<()> {
+        let mut line = entry_json(&entry);
+        line.push('\n');
         self.entries.push(entry);
-        self.flush()
+        if self.file.is_none() {
+            self.file = Some(OpenOptions::new().append(true).open(&self.path)?);
+        }
+        let f = self.file.as_mut().expect("just opened");
+        f.write_all(line.as_bytes())?;
+        f.flush()
     }
 
     /// Render the full JSONL document.
@@ -304,10 +386,109 @@ impl Manifest {
         }
         out
     }
+}
 
-    fn flush(&self) -> io::Result<()> {
-        atomic_write(&self.path, self.render().as_bytes())
+/// Where worker shard `shard` of a sharded campaign journals. Shard 0
+/// keeps the legacy single-manifest name, so a `--jobs 1` campaign's
+/// on-disk layout is exactly the pre-sharding one.
+pub fn shard_path(dir: &Path, base: &str, shard: usize) -> PathBuf {
+    if shard == 0 {
+        dir.join(format!("{base}.jsonl"))
+    } else {
+        dir.join(format!("{base}.shard-{shard}.jsonl"))
     }
+}
+
+/// Every shard manifest currently on disk for `base` under `dir`, as
+/// `(shard index, path)` sorted by shard index.
+pub fn existing_shards(dir: &Path, base: &str) -> Vec<(usize, PathBuf)> {
+    let mut found = Vec::new();
+    let p0 = shard_path(dir, base, 0);
+    if p0.exists() {
+        found.push((0, p0));
+    }
+    let prefix = format!("{base}.shard-");
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for e in rd.filter_map(Result::ok) {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if let Some(rest) = name.strip_prefix(&prefix).and_then(|r| r.strip_suffix(".jsonl")) {
+                if let Ok(i) = rest.parse::<usize>() {
+                    if i > 0 {
+                        found.push((i, e.path()));
+                    }
+                }
+            }
+        }
+    }
+    found.sort_unstable_by_key(|(i, _)| *i);
+    found
+}
+
+/// Start a fresh sharded campaign: one manifest per worker, all carrying
+/// the same campaign header. Stale shard files from earlier runs (even
+/// with a different worker count) are removed first, so a fresh campaign
+/// can never replay another run's journal.
+pub fn create_shards(
+    dir: &Path,
+    base: &str,
+    header: &Header,
+    shards: usize,
+) -> io::Result<Vec<Manifest>> {
+    for (_, p) in existing_shards(dir, base) {
+        std::fs::remove_file(&p)?;
+    }
+    (0..shards.max(1))
+        .map(|w| Manifest::create(&shard_path(dir, base, w), header.clone()))
+        .collect()
+}
+
+/// Resume a sharded campaign: open every shard manifest on disk
+/// (validating each against `expect`, recovering torn tails), create any
+/// missing shards up to the live worker count, and merge the journaled
+/// entries **deterministically** — shards in index order, entries in
+/// file order, first occurrence of a unit name wins. The merge result is
+/// a pure function of the on-disk shard set, so a resumed report is
+/// byte-identical regardless of the worker count or steal schedule of
+/// the run that crashed.
+///
+/// Shard 0 must exist (it is the legacy manifest a sequential campaign
+/// writes); shards beyond `jobs` are merged but not returned, since no
+/// live worker will append to them.
+pub fn resume_shards(
+    dir: &Path,
+    base: &str,
+    expect: &Header,
+    jobs: usize,
+) -> Result<(Vec<Manifest>, Vec<Entry>), CheckpointError> {
+    let jobs = jobs.max(1);
+    let on_disk = existing_shards(dir, base);
+    if !on_disk.iter().any(|(i, _)| *i == 0) {
+        return Err(CheckpointError::Io(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no manifest at {}", shard_path(dir, base, 0).display()),
+        )));
+    }
+    let mut merged: Vec<Entry> = Vec::new();
+    let mut opened: Vec<(usize, Manifest)> = Vec::new();
+    for (i, p) in on_disk {
+        let m = Manifest::open_resume(&p, expect)?;
+        for e in m.entries() {
+            if !merged.iter().any(|seen| seen.name == e.name) {
+                merged.push(e.clone());
+            }
+        }
+        if i < jobs {
+            opened.push((i, m));
+        }
+    }
+    let mut shards = Vec::with_capacity(jobs);
+    for w in 0..jobs {
+        match opened.iter().position(|(i, _)| *i == w) {
+            Some(pos) => shards.push(opened.remove(pos).1),
+            None => shards.push(Manifest::create(&shard_path(dir, base, w), expect.clone())?),
+        }
+    }
+    Ok((shards, merged))
 }
 
 #[cfg(test)]
@@ -409,5 +590,157 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// Satellite regression: a kill -9 mid-append leaves a truncated
+    /// final line with no trailing newline. Resume drops exactly that
+    /// line (the unit re-runs), truncates it off the file, and further
+    /// appends produce a well-formed journal.
+    #[test]
+    fn torn_final_line_is_recovered_and_truncated() {
+        let path = tmp("torn");
+        let mut m = Manifest::create(&path, header()).unwrap();
+        m.append(entry("faults")).unwrap();
+        drop(m);
+        // Simulate the torn tail: half of the next entry's line.
+        let full = entry_json(&entry("campaign"));
+        let torn = &full[..full.len() / 2];
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(torn.as_bytes()).unwrap();
+        drop(f);
+
+        let mut m = Manifest::open_resume(&path, &header()).unwrap();
+        assert!(m.recovered_torn_tail());
+        assert_eq!(m.entries().len(), 1, "torn unit dropped");
+        assert!(m.completed("campaign").is_none(), "torn unit must re-run");
+        // The file was truncated back to the valid prefix, so the re-run
+        // appends cleanly and a second resume sees both units.
+        m.append(entry("campaign")).unwrap();
+        drop(m);
+        let m = Manifest::open_resume(&path, &header()).unwrap();
+        assert!(!m.recovered_torn_tail());
+        assert_eq!(m.entries().len(), 2);
+        assert!(m.completed("campaign").is_some());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// Satellite regression: only the *final* line is recoverable.
+    /// Mid-file corruption (a malformed line followed by more complete
+    /// lines) stays fatal even when the file also ends without a
+    /// newline.
+    #[test]
+    fn mid_file_corruption_stays_fatal() {
+        let path = tmp("midfile");
+        let mut doc = header_json(&header());
+        doc.push_str("\n{\"schema\":\"ompvar-ch");
+        doc.push('\n'); // newline-terminated garbage = complete line
+        doc.push_str(&entry_json(&entry("faults")));
+        doc.push('\n');
+        std::fs::write(&path, &doc).unwrap();
+        match Manifest::open_resume(&path, &header()) {
+            Err(CheckpointError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Same, with an additional genuinely-torn tail after the valid
+        // entry: the mid-file garbage is still what kills it.
+        let mut doc2 = doc.clone();
+        doc2.push_str("{\"schema\":\"ompv");
+        std::fs::write(&path, &doc2).unwrap();
+        assert!(matches!(
+            Manifest::open_resume(&path, &header()),
+            Err(CheckpointError::Parse { line: 2, .. })
+        ));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// A complete unit record that merely lost its trailing newline is
+    /// accepted, and the newline is restored on disk.
+    #[test]
+    fn unterminated_but_complete_final_line_is_accepted() {
+        let path = tmp("noterm");
+        let mut doc = header_json(&header());
+        doc.push('\n');
+        doc.push_str(&entry_json(&entry("faults"))); // no trailing \n
+        std::fs::write(&path, doc).unwrap();
+        let m = Manifest::open_resume(&path, &header()).unwrap();
+        assert!(!m.recovered_torn_tail());
+        assert!(m.completed("faults").is_some());
+        drop(m);
+        assert!(std::fs::read_to_string(&path).unwrap().ends_with('\n'));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// Appends are O(1): each completion adds exactly one line; the
+    /// earlier lines are never rewritten.
+    #[test]
+    fn appends_grow_one_line_at_a_time() {
+        let path = tmp("append");
+        let mut m = Manifest::create(&path, header()).unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+        m.append(entry("faults")).unwrap();
+        let after = std::fs::read_to_string(&path).unwrap();
+        assert!(after.starts_with(&before), "prefix preserved");
+        assert_eq!(after.lines().count(), before.lines().count() + 1);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    fn shard_header(targets: &[&str]) -> Header {
+        Header { seed: 7, fast: true, targets: targets.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// Shard manifests merge deterministically: shard order, file order,
+    /// first name wins — independent of which worker journaled what.
+    #[test]
+    fn shard_merge_is_deterministic_and_deduped() {
+        let path = tmp("shards");
+        let dir = path.parent().unwrap().to_path_buf();
+        let h = shard_header(&["a", "b", "c"]);
+        let mut shards = create_shards(&dir, "m", &h, 3).unwrap();
+        assert!(shard_path(&dir, "m", 0).ends_with("m.jsonl"), "legacy name for shard 0");
+        // Workers journal out of canonical order and with a duplicate.
+        shards[2].append(entry("c")).unwrap();
+        shards[0].append(entry("b")).unwrap();
+        shards[1].append(entry("b")).unwrap(); // duplicate: shard 0 wins
+        drop(shards);
+
+        let (reopened, merged) = resume_shards(&dir, "m", &h, 2).unwrap();
+        assert_eq!(reopened.len(), 2, "only live shards returned");
+        let names: Vec<&str> = merged.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["b", "c"], "shard order, dedup by name");
+        // Resuming with MORE workers than shards creates the missing one.
+        let (reopened, merged) = resume_shards(&dir, "m", &h, 4).unwrap();
+        assert_eq!(reopened.len(), 4);
+        assert_eq!(merged.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A fresh sharded campaign removes every stale shard file, even
+    /// those beyond the new worker count.
+    #[test]
+    fn create_shards_clears_stale_files() {
+        let path = tmp("stale");
+        let dir = path.parent().unwrap().to_path_buf();
+        let h = shard_header(&["a"]);
+        let mut shards = create_shards(&dir, "m", &h, 4).unwrap();
+        shards[3].append(entry("a")).unwrap();
+        drop(shards);
+        let _ = create_shards(&dir, "m", &h, 1).unwrap();
+        assert!(!shard_path(&dir, "m", 3).exists(), "stale shard removed");
+        let (_, merged) = resume_shards(&dir, "m", &h, 1).unwrap();
+        assert!(merged.is_empty(), "no stale entries resurface");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Resume without a shard-0 manifest is an I/O error (nothing to
+    /// resume), matching the sequential behavior.
+    #[test]
+    fn resume_shards_requires_shard_zero() {
+        let path = tmp("noshard0");
+        let dir = path.parent().unwrap().to_path_buf();
+        assert!(matches!(
+            resume_shards(&dir, "m", &shard_header(&["a"]), 2),
+            Err(CheckpointError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,892 @@
+//! Fault-tolerant parallel campaign executor.
+//!
+//! A campaign's units are sharded across a work-stealing pool of N
+//! workers. Each worker runs its units through its **own**
+//! [`Supervisor`] journaling into its **own** per-shard checkpoint
+//! manifest (see [`crate::checkpoint::shard_path`]), so concurrent
+//! appenders never contend on one file and a `kill -9` at any instant
+//! tears at most one line of one shard — which
+//! [`Manifest::open_resume`]'s torn-tail recovery then drops. On resume
+//! the shard manifests are merged deterministically
+//! ([`crate::checkpoint::resume_shards`]) and completed units are
+//! replayed before dispatch, so a resumed report is byte-identical
+//! regardless of worker count, crash history, or steal schedule.
+//!
+//! Robustness machinery on top of the pool:
+//!
+//! - **Watchdog**: one thread tracking a wall-clock deadline per running
+//!   attempt. A reaped attempt surfaces as a transient
+//!   [`UnitError::timeout`] *inside* the supervise closure, so the
+//!   existing classifier / seeded-backoff / quarantine path applies
+//!   unchanged. Rust offers no way to cancel arbitrary compute, so a
+//!   timed attempt runs on a detached thread; a genuinely hung one is
+//!   leaked (it dies with the process) while the campaign moves on.
+//! - **Panic isolation**: unit panics are caught per-attempt and become
+//!   [`UnitError::from_panic`]. A panic *outside* the attempt sandbox
+//!   (executor or journaling bug) poisons only that worker: its queue
+//!   stays in the shared deques for the others to drain, and its
+//!   in-flight unit is re-run inline on the control lane after the pool
+//!   joins.
+//! - **Interrupt propagation**: a shared cancel flag (the CLI's SIGINT
+//!   flag) stops every worker at the next unit boundary; shard manifests
+//!   are flushed per-append, so everything completed before the
+//!   interrupt is already durable when the campaign returns.
+//!
+//! Every worker is one lane of the merged Chrome trace (export with
+//! `chrome_trace_lanes(…, "worker")`): attempts, retries, timeouts,
+//! steals, and checkpoint flushes per worker, on a shared time base.
+
+use crate::checkpoint::{Entry, Manifest, RetryRecord, UnitStatus};
+use crate::classify::Transience;
+use crate::supervisor::{Checkpointable, Outcome, Supervisor, SupervisorConfig, UnitError};
+use ompvar_obs::{InstantKind, Trace, TraceEvent};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Resolve a `--jobs` request: `0` means auto-detect (all available
+/// hardware parallelism), anything else is taken literally.
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Executor policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Worker count (already resolved; clamped to at least 1).
+    pub jobs: usize,
+    /// Per-attempt wall-clock deadline enforced by the watchdog;
+    /// `None` disables reaping.
+    pub unit_timeout: Option<Duration>,
+    /// Retry / backoff / seed policy shared by every worker.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            jobs: resolve_jobs(0),
+            unit_timeout: None,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// The closure a unit runs: attempt number in, result (or classified
+/// failure) out. `Arc` because a timed attempt executes on a detached
+/// thread that must own its callable.
+pub type UnitFn<R> = dyn Fn(u32) -> Result<R, UnitError> + Send + Sync;
+
+/// One schedulable campaign unit.
+pub struct ExecUnit<R> {
+    /// Journal / replay key; must be unique within the campaign.
+    pub name: String,
+    /// The work.
+    pub run: Arc<UnitFn<R>>,
+}
+
+impl<R> ExecUnit<R> {
+    /// Wrap a closure as a named unit.
+    pub fn new(
+        name: impl Into<String>,
+        run: impl Fn(u32) -> Result<R, UnitError> + Send + Sync + 'static,
+    ) -> ExecUnit<R> {
+        ExecUnit { name: name.into(), run: Arc::new(run) }
+    }
+}
+
+impl<R> std::fmt::Debug for ExecUnit<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecUnit").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// Terminal state of one unit, tagged with scheduling provenance.
+#[derive(Debug)]
+pub struct UnitResult<R> {
+    /// Position in the campaign's canonical unit order.
+    pub index: usize,
+    /// Unit name.
+    pub name: String,
+    /// What happened.
+    pub outcome: Outcome<R>,
+    /// Worker that ran it; `None` when replayed from a checkpoint or
+    /// recovered inline after a worker poisoning.
+    pub worker: Option<usize>,
+    /// Whether the unit was stolen from another worker's queue.
+    pub stolen: bool,
+    /// Wall-clock spent supervising the unit (all attempts + backoff);
+    /// zero for checkpoint replays.
+    pub duration: Duration,
+}
+
+/// Per-unit completion callback: invoked with each unit's terminal
+/// result the moment it is reached (replay, worker completion, or
+/// inline recovery). Called from worker threads, so it must be `Sync`;
+/// with one worker, calls arrive in execution order.
+pub type Progress<'a, R> = Option<&'a (dyn Fn(&UnitResult<R>) + Sync)>;
+
+/// Everything one campaign execution produced.
+#[derive(Debug)]
+pub struct CampaignRun<R> {
+    /// Finished units in canonical (submission) order. On an interrupted
+    /// run, units that never started are absent.
+    pub results: Vec<UnitResult<R>>,
+    /// Merged supervisor trace: one lane per worker, shared time base.
+    pub trace: Trace,
+    /// Whether the cancel flag stopped the campaign early.
+    pub interrupted: bool,
+    /// Workers lost to a panic outside the per-attempt sandbox.
+    pub poisoned_workers: usize,
+    /// Units that ran on a worker other than the one they were
+    /// initially dealt to.
+    pub steals: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A worker that panicked while holding a deque/slot lock must not
+    // cascade: the protected data (plain indices) is always valid.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------
+
+struct Watch {
+    id: u64,
+    deadline: Instant,
+    fire: Option<Box<dyn FnOnce() + Send>>,
+}
+
+struct WatchdogState {
+    watches: Vec<Watch>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// One thread enforcing wall-clock deadlines for every in-flight
+/// attempt. Registration hands over a closure that is fired at most
+/// once, when the deadline passes before [`Watchdog::cancel`].
+pub struct Watchdog {
+    state: Arc<(Mutex<WatchdogState>, Condvar)>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Start the watchdog thread.
+    pub fn spawn() -> Watchdog {
+        let state = Arc::new((
+            Mutex::new(WatchdogState { watches: Vec::new(), next_id: 0, shutdown: false }),
+            Condvar::new(),
+        ));
+        let thread_state = Arc::clone(&state);
+        let handle = thread::Builder::new()
+            .name("ompvar-watchdog".into())
+            .spawn(move || {
+                let (m, cv) = &*thread_state;
+                let mut g = lock(m);
+                loop {
+                    if g.shutdown {
+                        return;
+                    }
+                    let now = Instant::now();
+                    let mut fired: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+                    g.watches.retain_mut(|w| {
+                        if w.deadline <= now {
+                            fired.extend(w.fire.take());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if !fired.is_empty() {
+                        // Fire outside the lock: the closures take other
+                        // locks (result slots) and must not nest inside
+                        // ours.
+                        drop(g);
+                        for f in fired {
+                            f();
+                        }
+                        g = lock(m);
+                        continue;
+                    }
+                    g = match g.watches.iter().map(|w| w.deadline).min() {
+                        Some(d) => {
+                            cv.wait_timeout(g, d.saturating_duration_since(now))
+                                .unwrap_or_else(|p| p.into_inner())
+                                .0
+                        }
+                        None => cv.wait(g).unwrap_or_else(|p| p.into_inner()),
+                    };
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog { state, handle: Some(handle) }
+    }
+
+    /// Arm a deadline. Returns a handle for [`Watchdog::cancel`].
+    pub fn register(&self, deadline: Instant, fire: Box<dyn FnOnce() + Send>) -> u64 {
+        let (m, cv) = &*self.state;
+        let mut g = lock(m);
+        let id = g.next_id;
+        g.next_id += 1;
+        g.watches.push(Watch { id, deadline, fire: Some(fire) });
+        cv.notify_all();
+        id
+    }
+
+    /// Disarm a deadline (no-op if it already fired).
+    pub fn cancel(&self, id: u64) {
+        let (m, cv) = &*self.state;
+        lock(m).watches.retain(|w| w.id != id);
+        cv.notify_all();
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let (m, cv) = &*self.state;
+        lock(m).shutdown = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Attempt execution
+// ---------------------------------------------------------------------
+
+/// Run one attempt with panic isolation and (optionally) a watchdog
+/// deadline. Without a timeout the attempt runs on the calling thread;
+/// with one it runs on a detached thread whose result races the
+/// watchdog into a first-writer-wins slot. A reaped attempt's thread is
+/// leaked deliberately — see the module docs.
+fn run_attempt<R: Send + 'static>(
+    run: &Arc<UnitFn<R>>,
+    attempt: u32,
+    timeout: Option<Duration>,
+    watchdog: &Watchdog,
+    name: &str,
+) -> Result<R, UnitError> {
+    let Some(limit) = timeout else {
+        return catch_unwind(AssertUnwindSafe(|| run(attempt)))
+            .unwrap_or_else(|p| Err(UnitError::from_panic(panic_message(p.as_ref()))));
+    };
+
+    type Slot<R> = Arc<(Mutex<Option<Result<R, UnitError>>>, Condvar)>;
+    let slot: Slot<R> = Arc::new((Mutex::new(None), Condvar::new()));
+
+    let reap_slot = Arc::clone(&slot);
+    let reap_msg = format!(
+        "unit '{name}' attempt {attempt} exceeded its {:.3}s deadline; reaped by watchdog",
+        limit.as_secs_f64()
+    );
+    let watch = watchdog.register(
+        Instant::now() + limit,
+        Box::new(move || {
+            let (m, cv) = &*reap_slot;
+            let mut g = lock(m);
+            if g.is_none() {
+                *g = Some(Err(UnitError::timeout(reap_msg)));
+                cv.notify_all();
+            }
+        }),
+    );
+
+    let work_slot = Arc::clone(&slot);
+    let work = Arc::clone(run);
+    let _detached = thread::Builder::new()
+        .name(format!("ompvar-attempt-{name}"))
+        .spawn(move || {
+            let res = catch_unwind(AssertUnwindSafe(|| work(attempt)))
+                .unwrap_or_else(|p| Err(UnitError::from_panic(panic_message(p.as_ref()))));
+            let (m, cv) = &*work_slot;
+            let mut g = lock(m);
+            if g.is_none() {
+                *g = Some(res);
+                cv.notify_all();
+            }
+        })
+        .expect("spawn attempt thread");
+
+    let (m, cv) = &*slot;
+    let mut g = lock(m);
+    while g.is_none() {
+        g = cv.wait(g).unwrap_or_else(|p| p.into_inner());
+    }
+    watchdog.cancel(watch);
+    g.take().expect("slot filled")
+}
+
+// ---------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------
+
+/// Pop the next unit for worker `w`: own queue front first, then steal
+/// from the back of the other workers' queues.
+fn next_unit(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<(usize, bool)> {
+    if let Some(i) = lock(&deques[w]).pop_front() {
+        return Some((i, false));
+    }
+    for off in 1..deques.len() {
+        let victim = (w + off) % deques.len();
+        if let Some(i) = lock(&deques[victim]).pop_back() {
+            return Some((i, true));
+        }
+    }
+    None
+}
+
+struct WorkerOut<R> {
+    results: Vec<UnitResult<R>>,
+    trace: Trace,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<R>(
+    w: usize,
+    cfg: &ExecutorConfig,
+    manifest: Option<Manifest>,
+    units: &[ExecUnit<R>],
+    deques: &[Mutex<VecDeque<usize>>],
+    in_flight: &[Mutex<Option<usize>>],
+    watchdog: &Watchdog,
+    cancel: Option<&AtomicBool>,
+    epoch: Instant,
+    progress: Progress<'_, R>,
+) -> WorkerOut<R>
+where
+    R: Checkpointable + Send + 'static,
+{
+    let mut sup = Supervisor::new(cfg.supervisor).with_lane(w as u32).with_t0(epoch);
+    if let Some(m) = manifest {
+        sup = sup.with_manifest(m);
+    }
+    let mut results = Vec::new();
+    loop {
+        if cancel.map(|c| c.load(Ordering::SeqCst)).unwrap_or(false) {
+            break;
+        }
+        let Some((idx, stolen)) = next_unit(deques, w) else { break };
+        if stolen {
+            sup.emit_instant(InstantKind::SupervisorSteal);
+        }
+        *lock(&in_flight[w]) = Some(idx);
+        let unit = &units[idx];
+        let run = Arc::clone(&unit.run);
+        let timeout = cfg.unit_timeout;
+        let t0 = Instant::now();
+        let supervised = catch_unwind(AssertUnwindSafe(|| {
+            sup.supervise(&unit.name, |attempt| {
+                run_attempt(&run, attempt, timeout, watchdog, &unit.name)
+            })
+        }));
+        match supervised {
+            Ok(outcome) => {
+                *lock(&in_flight[w]) = None;
+                let result = UnitResult {
+                    index: idx,
+                    name: unit.name.clone(),
+                    outcome,
+                    worker: Some(w),
+                    stolen,
+                    duration: t0.elapsed(),
+                };
+                if let Some(p) = progress {
+                    p(&result);
+                }
+                results.push(result);
+            }
+            // A panic *outside* the attempt sandbox: this worker is
+            // poisoned. Stop taking work — the shared deques let the
+            // others drain our queue, and the still-set in-flight slot
+            // tells the main thread which unit to recover.
+            Err(_) => break,
+        }
+    }
+    WorkerOut { results, trace: sup.take_trace() }
+}
+
+/// Rebuild a journaled terminal state without re-running the unit.
+/// `None` marks an unreadable payload — the unit then re-runs.
+fn replay_entry<R: Checkpointable>(e: &Entry) -> Option<Outcome<R>> {
+    match e.status {
+        UnitStatus::Ok => e.payload.as_ref().and_then(R::from_ckpt).map(|value| {
+            Outcome::Completed {
+                value,
+                attempts: e.attempts,
+                retries: e.retries.clone(),
+                from_checkpoint: true,
+            }
+        }),
+        UnitStatus::Quarantined => Some(Outcome::Quarantined {
+            attempts: e.attempts,
+            retries: e.retries.clone(),
+            from_checkpoint: true,
+        }),
+    }
+}
+
+/// Run a campaign through the work-stealing pool.
+///
+/// `manifests` are the per-shard journals (from
+/// [`crate::checkpoint::create_shards`] / `resume_shards`), one per
+/// worker; `None` runs unjournaled. `replay` is the deterministic merge
+/// of previously journaled entries — matching units are replayed before
+/// dispatch. `cancel` is polled at every unit boundary (the CLI passes
+/// its SIGINT flag). `progress` is invoked with each unit's terminal
+/// result the moment it is reached — from worker threads, so streamed
+/// output should lock stdout per call.
+///
+/// Results come back in canonical (submission) order regardless of the
+/// steal schedule, so downstream reports are deterministic.
+pub fn run_campaign<R>(
+    cfg: &ExecutorConfig,
+    units: &[ExecUnit<R>],
+    manifests: Option<Vec<Manifest>>,
+    replay: &[Entry],
+    cancel: Option<&AtomicBool>,
+    progress: Progress<'_, R>,
+) -> CampaignRun<R>
+where
+    R: Checkpointable + Send + 'static,
+{
+    let jobs = cfg.jobs.max(1);
+    let epoch = Instant::now();
+    let n = units.len();
+    let mut control = Supervisor::new(cfg.supervisor).with_lane(0).with_t0(epoch);
+
+    // Replay pass: decode journaled terminal states before any dispatch,
+    // on the control lane. Unreadable payloads fall through and re-run.
+    let mut slots: Vec<Option<UnitResult<R>>> = (0..n).map(|_| None).collect();
+    for (idx, u) in units.iter().enumerate() {
+        if let Some(e) = replay.iter().find(|e| e.name == u.name) {
+            match replay_entry::<R>(e) {
+                Some(outcome) => {
+                    control.emit_instant(InstantKind::SupervisorResume);
+                    let result = UnitResult {
+                        index: idx,
+                        name: u.name.clone(),
+                        outcome,
+                        worker: None,
+                        stolen: false,
+                        duration: Duration::ZERO,
+                    };
+                    if let Some(p) = progress {
+                        p(&result);
+                    }
+                    slots[idx] = Some(result);
+                }
+                None => eprintln!(
+                    "warning: checkpoint payload for {} is unreadable; re-running",
+                    u.name
+                ),
+            }
+        }
+    }
+
+    // Deal the pending units round-robin; stealing rebalances from there.
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut next_worker = 0;
+    for (idx, slot) in slots.iter().enumerate() {
+        if slot.is_none() {
+            lock(&deques[next_worker]).push_back(idx);
+            next_worker = (next_worker + 1) % jobs;
+        }
+    }
+
+    let mut shard_manifests: Vec<Option<Manifest>> = match manifests {
+        Some(v) => v.into_iter().map(Some).collect(),
+        None => Vec::new(),
+    };
+    shard_manifests.resize_with(jobs, || None);
+    shard_manifests.truncate(jobs);
+
+    let in_flight: Vec<Mutex<Option<usize>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let watchdog = Watchdog::spawn();
+
+    let units_ref = units;
+    let deques_ref = &deques;
+    let in_flight_ref = &in_flight;
+    let watchdog_ref = &watchdog;
+
+    let mut outs: Vec<WorkerOut<R>> = Vec::with_capacity(jobs);
+    thread::scope(|s| {
+        let handles: Vec<_> = shard_manifests
+            .drain(..)
+            .enumerate()
+            .map(|(w, manifest)| {
+                s.spawn(move || {
+                    worker_loop(
+                        w,
+                        cfg,
+                        manifest,
+                        units_ref,
+                        deques_ref,
+                        in_flight_ref,
+                        watchdog_ref,
+                        cancel,
+                        epoch,
+                        progress,
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            // A worker thread that dies before returning (it should not:
+            // the loop catches panics) is treated like a poisoning — its
+            // in-flight slot stays set and is recovered below.
+            if let Ok(out) = h.join() {
+                outs.push(out);
+            }
+        }
+    });
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut steals = 0;
+    for mut out in outs {
+        for r in out.results.drain(..) {
+            if r.stolen {
+                steals += 1;
+            }
+            let idx = r.index;
+            slots[idx] = Some(r);
+        }
+        events.append(&mut out.trace.events);
+    }
+
+    let interrupted = cancel.map(|c| c.load(Ordering::SeqCst)).unwrap_or(false);
+
+    // Recovery pass: units a poisoned worker had in flight, plus any
+    // queue no surviving worker drained, re-run inline on the control
+    // lane (unjournaled — they will simply re-run again on a resume).
+    let mut poisoned = 0;
+    let mut recover: Vec<usize> = Vec::new();
+    for slot in &in_flight {
+        if let Some(idx) = lock(slot).take() {
+            poisoned += 1;
+            recover.push(idx);
+        }
+    }
+    if !interrupted {
+        for d in &deques {
+            recover.extend(lock(d).drain(..));
+        }
+    }
+    recover.sort_unstable();
+    for idx in recover {
+        let u = &units[idx];
+        eprintln!(
+            "warning: worker poisoned while running '{}'; re-running on the control lane",
+            u.name
+        );
+        let run = Arc::clone(&u.run);
+        let timeout = cfg.unit_timeout;
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            control.supervise(&u.name, |attempt| {
+                run_attempt(&run, attempt, timeout, &watchdog, &u.name)
+            })
+        }))
+        .unwrap_or_else(|p| Outcome::Quarantined {
+            attempts: 1,
+            retries: vec![RetryRecord {
+                attempt: 0,
+                error: format!(
+                    "panic outside the attempt sandbox: {}",
+                    panic_message(p.as_ref())
+                ),
+                transience: Transience::Permanent,
+                backoff_ms: 0,
+            }],
+            from_checkpoint: false,
+        });
+        let result = UnitResult {
+            index: idx,
+            name: u.name.clone(),
+            outcome,
+            worker: None,
+            stolen: false,
+            duration: t0.elapsed(),
+        };
+        if let Some(p) = progress {
+            p(&result);
+        }
+        slots[idx] = Some(result);
+    }
+
+    events.append(&mut control.take_trace().events);
+    // Stable by-time sort: each lane's events are already in emission
+    // order on a shared clock, so per-lane order (what consumers rely
+    // on) survives the merge.
+    events.sort_by_key(|e| e.time_ns);
+
+    CampaignRun {
+        results: slots.into_iter().flatten().collect(),
+        trace: Trace::new(events),
+        interrupted,
+        poisoned_workers: poisoned,
+        steals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backoff::BackoffCfg;
+    use crate::checkpoint::{create_shards, resume_shards, Header};
+    use ompvar_obs::json::Value;
+    use std::sync::atomic::AtomicUsize;
+
+    fn cfg(jobs: usize) -> ExecutorConfig {
+        ExecutorConfig {
+            jobs,
+            unit_timeout: None,
+            supervisor: SupervisorConfig { seed: 11, sleep: false, ..Default::default() },
+        }
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("ompvar_exec_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn value_units(n: usize) -> Vec<ExecUnit<f64>> {
+        (0..n)
+            .map(|i| ExecUnit::new(format!("u{i}"), move |_| Ok(i as f64 * 1.5)))
+            .collect()
+    }
+
+    fn digest<R: Clone + std::fmt::Debug>(run: &CampaignRun<R>) -> Vec<(usize, String, u32)> {
+        run.results
+            .iter()
+            .map(|r| (r.index, r.name.clone(), r.outcome.attempts()))
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_canonical_order_any_job_count() {
+        let units = value_units(17);
+        let seq = run_campaign(&cfg(1), &units, None, &[], None, None);
+        for jobs in [2, 4, 8] {
+            let par = run_campaign(&cfg(jobs), &units, None, &[], None, None);
+            assert_eq!(digest(&seq), digest(&par), "jobs={jobs}");
+            for (r, i) in par.results.iter().zip(0..) {
+                assert_eq!(r.index, i);
+                match &r.outcome {
+                    Outcome::Completed { value, .. } => assert_eq!(*value, i as f64 * 1.5),
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_reaps_hang_then_retry_succeeds() {
+        let mut c = cfg(2);
+        c.unit_timeout = Some(Duration::from_millis(30));
+        let units = vec![
+            ExecUnit::new("hang-once", |attempt: u32| {
+                if attempt == 0 {
+                    thread::sleep(Duration::from_millis(500));
+                }
+                Ok(7.0f64)
+            }),
+            ExecUnit::new("fine", |_| Ok(1.0f64)),
+        ];
+        let t0 = Instant::now();
+        let run = run_campaign(&c, &units, None, &[], None, None);
+        assert!(t0.elapsed() < Duration::from_secs(5), "campaign must not hang");
+        let hang = &run.results[0];
+        match &hang.outcome {
+            Outcome::Completed { attempts, retries, .. } => {
+                assert_eq!(*attempts, 2, "one reap, one clean attempt");
+                assert!(retries[0].error.contains("reaped by watchdog"), "{retries:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(run.trace.instants_of(InstantKind::SupervisorTimeout), 1);
+    }
+
+    #[test]
+    fn persistent_hang_is_quarantined_not_fatal() {
+        let mut c = cfg(1);
+        c.unit_timeout = Some(Duration::from_millis(20));
+        c.supervisor.max_retries = 1;
+        c.supervisor.backoff = BackoffCfg { base_ms: 1, cap_ms: 2, ..Default::default() };
+        let units = vec![ExecUnit::new("wedge", |_| -> Result<f64, UnitError> {
+            thread::sleep(Duration::from_millis(400));
+            Ok(0.0)
+        })];
+        let run = run_campaign(&c, &units, None, &[], None, None);
+        match &run.results[0].outcome {
+            Outcome::Quarantined { attempts, retries, .. } => {
+                assert_eq!(*attempts, 2);
+                assert!(retries.iter().all(|r| r.error.contains("reaped by watchdog")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(run.trace.instants_of(InstantKind::SupervisorTimeout), 2);
+    }
+
+    #[test]
+    fn unit_panics_are_isolated_into_the_retry_path() {
+        let units = vec![ExecUnit::new("panics-once", |attempt: u32| {
+            if attempt == 0 {
+                panic!("deadlock detected in simulated barrier");
+            }
+            Ok(3.0f64)
+        })];
+        let run = run_campaign(&cfg(2), &units, None, &[], None, None);
+        match &run.results[0].outcome {
+            Outcome::Completed { attempts, retries, .. } => {
+                assert_eq!(*attempts, 2);
+                assert!(retries[0].error.starts_with("panic:"), "{retries:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(run.poisoned_workers, 0);
+    }
+
+    /// A panic *outside* the attempt sandbox (here: a poisoned
+    /// serialization) kills only that worker; the unit it held is
+    /// recovered inline and the campaign still completes everything.
+    #[test]
+    fn poisoned_worker_queue_is_reclaimed() {
+        static ARMED: AtomicBool = AtomicBool::new(false);
+        #[derive(Debug, Clone)]
+        struct Poison(f64);
+        impl Checkpointable for Poison {
+            fn to_ckpt(&self) -> Value {
+                if ARMED.swap(false, Ordering::SeqCst) {
+                    panic!("journal serialization poisoned");
+                }
+                Value::Num(self.0)
+            }
+            fn from_ckpt(v: &Value) -> Option<Self> {
+                v.as_f64().map(Poison)
+            }
+        }
+        ARMED.store(true, Ordering::SeqCst);
+        let units: Vec<ExecUnit<Poison>> = (0..6)
+            .map(|i| ExecUnit::new(format!("p{i}"), move |_| Ok(Poison(i as f64))))
+            .collect();
+        let run = run_campaign(&cfg(2), &units, None, &[], None, None);
+        assert_eq!(run.poisoned_workers, 1);
+        assert_eq!(run.results.len(), 6, "every unit still reaches a terminal state");
+        for (i, r) in run.results.iter().enumerate() {
+            match &r.outcome {
+                Outcome::Completed { value, .. } => assert_eq!(value.0, i as f64),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_deal() {
+        let units: Vec<ExecUnit<f64>> = (0..8)
+            .map(|i| {
+                ExecUnit::new(format!("s{i}"), move |_| {
+                    // Unit 0 pins worker 0 long enough that worker 1
+                    // must steal the rest of worker 0's queue.
+                    if i == 0 {
+                        thread::sleep(Duration::from_millis(80));
+                    }
+                    Ok(i as f64)
+                })
+            })
+            .collect();
+        let run = run_campaign(&cfg(2), &units, None, &[], None, None);
+        assert_eq!(run.results.len(), 8);
+        assert!(run.steals >= 1, "expected at least one steal, got {}", run.steals);
+        assert_eq!(
+            run.trace.instants_of(InstantKind::SupervisorSteal),
+            run.steals,
+            "steal instants mirror the steal count"
+        );
+    }
+
+    #[test]
+    fn sharded_journal_roundtrip_replays_without_rerunning() {
+        let dir = tmpdir("roundtrip");
+        let header = Header {
+            seed: 11,
+            fast: true,
+            targets: (0..6).map(|i| format!("u{i}")).collect(),
+        };
+        let ran = Arc::new(AtomicUsize::new(0));
+        let units: Vec<ExecUnit<f64>> = (0..6)
+            .map(|i| {
+                let ran = Arc::clone(&ran);
+                ExecUnit::new(format!("u{i}"), move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    Ok(i as f64)
+                })
+            })
+            .collect();
+        let shards = create_shards(&dir, "m", &header, 3).unwrap();
+        let first = run_campaign(&cfg(3), &units, Some(shards), &[], None, None);
+        assert_eq!(first.results.len(), 6);
+        assert_eq!(ran.load(Ordering::SeqCst), 6);
+
+        // Resume with a different worker count: everything replays, the
+        // closures never run again, and the values survive the journal.
+        let (shards, merged) = resume_shards(&dir, "m", &header, 1).unwrap();
+        assert_eq!(merged.len(), 6);
+        let second = run_campaign(&cfg(1), &units, Some(shards), &merged, None, None);
+        assert_eq!(ran.load(Ordering::SeqCst), 6, "no unit re-ran");
+        assert_eq!(second.results.len(), 6);
+        for (i, r) in second.results.iter().enumerate() {
+            assert!(r.outcome.from_checkpoint());
+            match &r.outcome {
+                Outcome::Completed { value, .. } => assert_eq!(*value, i as f64),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(
+            second.trace.instants_of(InstantKind::SupervisorResume),
+            6
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_flag_stops_workers_at_unit_boundaries() {
+        let cancel = AtomicBool::new(true);
+        let units = value_units(10);
+        let run = run_campaign(&cfg(4), &units, None, &[], Some(&cancel), None);
+        assert!(run.interrupted);
+        assert!(run.results.is_empty(), "pre-set cancel: nothing starts");
+    }
+
+    #[test]
+    fn resolve_jobs_auto_detects_on_zero() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

@@ -20,6 +20,10 @@
 //!   history lands in the same Chrome traces as the runs themselves.
 //! - [`adaptive`]: dispersion-driven re-measurement — extra repetitions
 //!   for unstable cells only, capped and recorded.
+//! - [`executor`]: the fault-tolerant parallel layer — a work-stealing
+//!   pool of workers, each journaling into its own shard manifest, with
+//!   a hang watchdog, per-worker panic isolation, and a deterministic
+//!   shard merge on resume.
 
 #![warn(missing_docs)]
 
@@ -27,13 +31,19 @@ pub mod adaptive;
 pub mod backoff;
 pub mod checkpoint;
 pub mod classify;
+pub mod executor;
 pub mod fsio;
 pub mod supervisor;
 
 pub use adaptive::{dispersion, stabilize, Stabilized, StabilityPolicy};
 pub use backoff::{name_seed, Backoff, BackoffCfg};
 pub use checkpoint::{
-    CheckpointError, Entry, Header, Manifest, RetryRecord, UnitStatus, SCHEMA,
+    create_shards, existing_shards, resume_shards, shard_path, CheckpointError, Entry, Header,
+    Manifest, RetryRecord, UnitStatus, SCHEMA,
+};
+pub use executor::{
+    resolve_jobs, run_campaign, CampaignRun, ExecUnit, ExecutorConfig, Progress, UnitResult,
+    Watchdog,
 };
 pub use classify::{classify, classify_panic, classify_region, classify_sim, Transience};
 pub use fsio::atomic_write;

@@ -67,18 +67,32 @@ pub struct UnitError {
     pub message: String,
     /// Retry policy class.
     pub transience: Transience,
+    /// Whether the watchdog reaped this attempt for exceeding its
+    /// wall-clock deadline (drives the `supervisor_timeout` instant).
+    pub timed_out: bool,
 }
 
 impl UnitError {
     /// Classify-and-wrap a runtime error.
     pub fn from_rt(e: &ompvar_rt::RtError) -> UnitError {
-        UnitError { message: e.to_string(), transience: crate::classify::classify(e) }
+        UnitError {
+            message: e.to_string(),
+            transience: crate::classify::classify(e),
+            timed_out: false,
+        }
     }
 
     /// Wrap a caught panic payload (transient by policy).
     pub fn from_panic(msg: String) -> UnitError {
         let transience = crate::classify::classify_panic(&msg);
-        UnitError { message: format!("panic: {msg}"), transience }
+        UnitError { message: format!("panic: {msg}"), transience, timed_out: false }
+    }
+
+    /// A watchdog-reaped hang. Timeouts are transient by policy: a hang
+    /// on a loaded host is exactly the "noisy neighbor" class of failure
+    /// the retry/backoff path exists for.
+    pub fn timeout(msg: String) -> UnitError {
+        UnitError { message: msg, transience: Transience::Transient, timed_out: true }
     }
 }
 
@@ -148,19 +162,43 @@ pub struct Supervisor {
     events: Vec<TraceEvent>,
     t0: Instant,
     lanes: u32,
+    fixed_lane: Option<u32>,
 }
 
 impl Supervisor {
     /// Supervisor without a checkpoint journal (in-memory campaigns,
     /// tests).
     pub fn new(cfg: SupervisorConfig) -> Supervisor {
-        Supervisor { cfg, manifest: None, events: Vec::new(), t0: Instant::now(), lanes: 0 }
+        Supervisor {
+            cfg,
+            manifest: None,
+            events: Vec::new(),
+            t0: Instant::now(),
+            lanes: 0,
+            fixed_lane: None,
+        }
     }
 
     /// Attach a checkpoint manifest: completions are journaled, and
     /// units the manifest already holds are replayed.
     pub fn with_manifest(mut self, manifest: Manifest) -> Supervisor {
         self.manifest = Some(manifest);
+        self
+    }
+
+    /// Pin every event this supervisor emits to one trace lane. The
+    /// parallel executor gives each worker its own supervisor pinned to
+    /// the worker index, so the merged Chrome trace shows one track per
+    /// worker instead of one per unit.
+    pub fn with_lane(mut self, lane: u32) -> Supervisor {
+        self.fixed_lane = Some(lane);
+        self
+    }
+
+    /// Re-base the trace clock on a shared campaign epoch so events from
+    /// per-worker supervisors interleave correctly after merging.
+    pub fn with_t0(mut self, t0: Instant) -> Supervisor {
+        self.t0 = t0;
         self
     }
 
@@ -187,7 +225,15 @@ impl Supervisor {
 
     fn emit(&mut self, lane: u32, kind: EventKind) {
         let time_ns = self.now_ns();
+        let lane = self.fixed_lane.unwrap_or(lane);
         self.events.push(TraceEvent { time_ns, thread: lane, core: CORE_UNKNOWN, kind });
+    }
+
+    /// Emit a free-standing instant on this supervisor's lane (lane 0
+    /// unless pinned). The executor uses this for steal/interrupt marks
+    /// that have no owning unit.
+    pub fn emit_instant(&mut self, kind: InstantKind) {
+        self.emit(0, EventKind::Instant(kind));
     }
 
     fn journal(&mut self, lane: u32, entry: Entry) {
@@ -270,6 +316,9 @@ impl Supervisor {
                     };
                 }
                 Err(err) => {
+                    if err.timed_out {
+                        self.emit(lane, EventKind::Instant(InstantKind::SupervisorTimeout));
+                    }
                     let retryable =
                         err.transience == Transience::Transient && attempt < self.cfg.max_retries;
                     if retryable {
@@ -335,7 +384,11 @@ mod tests {
     }
 
     fn transient(msg: &str) -> UnitError {
-        UnitError { message: msg.into(), transience: Transience::Transient }
+        UnitError { message: msg.into(), transience: Transience::Transient, timed_out: false }
+    }
+
+    fn permanent(msg: &str) -> UnitError {
+        UnitError { message: msg.into(), transience: Transience::Permanent, timed_out: false }
     }
 
     #[test]
@@ -382,7 +435,7 @@ mod tests {
     fn permanent_failure_quarantines_without_retry() {
         let mut sup = Supervisor::new(cfg());
         let out = sup.supervise("broken", |_| -> Result<f64, UnitError> {
-            Err(UnitError { message: "invalid region".into(), transience: Transience::Permanent })
+            Err(permanent("invalid region"))
         });
         match out {
             Outcome::Quarantined { attempts, retries, .. } => {
@@ -450,7 +503,7 @@ mod tests {
             }
         });
         sup.supervise("b", |_| -> Result<f64, UnitError> {
-            Err(UnitError { message: "bad".into(), transience: Transience::Permanent })
+            Err(permanent("bad"))
         });
 
         // Resumed run: both units replay from the journal; the closures
@@ -477,6 +530,33 @@ mod tests {
         assert_eq!(trace.instants_of(InstantKind::SupervisorResume), 2);
         assert_eq!(trace.count_of(SpanKind::Attempt), 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timeouts_emit_their_instant_and_ride_the_retry_path() {
+        let mut sup = Supervisor::new(cfg());
+        let out = sup.supervise("hung", |attempt| {
+            if attempt == 0 {
+                Err(UnitError::timeout("unit exceeded deadline".into()))
+            } else {
+                Ok(3.0f64)
+            }
+        });
+        assert!(matches!(out, Outcome::Completed { attempts: 2, .. }));
+        let trace = sup.take_trace();
+        assert_eq!(trace.instants_of(InstantKind::SupervisorTimeout), 1);
+        assert_eq!(trace.instants_of(InstantKind::SupervisorRetry), 1);
+    }
+
+    #[test]
+    fn pinned_lane_routes_every_event_to_one_track() {
+        let mut sup = Supervisor::new(cfg()).with_lane(5);
+        sup.supervise("u1", |_| Ok(1.0f64));
+        sup.supervise("u2", |_| Ok(2.0f64));
+        sup.emit_instant(InstantKind::SupervisorSteal);
+        let trace = sup.take_trace();
+        assert!(!trace.events.is_empty());
+        assert!(trace.events.iter().all(|e| e.thread == 5));
     }
 
     #[test]
