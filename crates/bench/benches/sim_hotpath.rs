@@ -1,0 +1,52 @@
+//! Engine hot-path microbenchmarks: the bare event loop's `events/sec`
+//! on the workloads the `BENCH_sim.json` perf trajectory tracks (see
+//! `ompvar_bench::throughput`), on both engine paths.
+//!
+//! One fuzz sample = the whole measurement corpus (generation excluded);
+//! one calibrated sample = one paper-figure-shaped run; one straggler
+//! sample = one deadlock-endgame run. `cargo bench --bench sim_hotpath`
+//! is CI-smoke-runnable in seconds; the committed trajectory and the
+//! regression gate live in the `sim_throughput` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompvar_bench::throughput::{
+    fuzz_corpus, run_calibrated_workload, run_fuzz_workload, run_straggler_workload,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = fuzz_corpus(16);
+    let mut g = c.benchmark_group("sim_hotpath");
+    for reference in [false, true] {
+        let path = if reference { "reference" } else { "optimized" };
+        g.bench_with_input(
+            BenchmarkId::new("fuzz_corpus16", path),
+            &reference,
+            |b, &reference| {
+                b.iter(|| black_box(run_fuzz_workload(&corpus, reference).events))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("calibrated_run", path),
+            &reference,
+            |b, &reference| {
+                b.iter(|| black_box(run_calibrated_workload(1, reference).events))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("straggler_run", path),
+            &reference,
+            |b, &reference| {
+                b.iter(|| black_box(run_straggler_workload(1, reference).wall_s))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ompvar_bench::sim_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,315 @@
+//! `sim_throughput` — measure engine throughput and maintain the
+//! `BENCH_sim.json` perf trajectory.
+//!
+//! Runs the two workloads defined in [`ompvar_bench::throughput`] on both
+//! engine paths (optimized and reference) and reports `events/sec` and
+//! `cases/sec`. Modes:
+//!
+//! * default — print a human summary plus the JSON trajectory entry;
+//! * `--append FILE` — append the entry to the trajectory file (created
+//!   with the `ompvar-bench-sim/1` schema when missing);
+//! * `--baseline` — measure the reference path only and record it as the
+//!   entry's primary numbers (no `*_ref_*` fields): a stand-in for the
+//!   pre-optimization engine, which had no second path to compare
+//!   against. Used once, for the trajectory's first point;
+//! * `--check FILE` — CI regression gate: re-measure, normalize by the
+//!   reference path to cancel machine speed out, and exit non-zero if
+//!   the optimized fuzz throughput regressed more than `--tolerance`
+//!   (default 20%) against the file's most recent entry.
+//!
+//! The reference path is the pre-optimization engine (binary-heap event
+//! queue, naive topology lookups, no tick fast-forward) processing the
+//! identical event stream, so `now.ref / committed.ref` is a pure
+//! machine-speed ratio: the gate compares
+//! `now.opt  >=  committed.opt * (now.ref / committed.ref) * (1 - tol)`,
+//! which holds machine-independently.
+
+use ompvar_bench::throughput::{
+    fuzz_corpus, render_entry, run_calibrated_workload, run_fuzz_workload,
+    run_straggler_workload, Throughput,
+};
+use std::process::ExitCode;
+
+struct Args {
+    cases: u64,
+    reps: u64,
+    rounds: u32,
+    label: String,
+    commit: String,
+    append: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+    baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cases: 64,
+        reps: 20,
+        rounds: 3,
+        label: "local".to_string(),
+        commit: "unknown".to_string(),
+        append: None,
+        check: None,
+        tolerance: 0.20,
+        baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--cases" => args.cases = val("--cases")?.parse().map_err(|e| format!("{e}"))?,
+            "--reps" => args.reps = val("--reps")?.parse().map_err(|e| format!("{e}"))?,
+            "--rounds" => args.rounds = val("--rounds")?.parse().map_err(|e| format!("{e}"))?,
+            "--label" => args.label = val("--label")?,
+            "--commit" => args.commit = val("--commit")?,
+            "--append" => args.append = Some(val("--append")?),
+            "--check" => args.check = Some(val("--check")?),
+            "--tolerance" => {
+                args.tolerance = val("--tolerance")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--baseline" => args.baseline = true,
+            "--help" | "-h" => {
+                return Err("usage: sim_throughput [--cases N] [--reps N] [--rounds N] [--label L] \
+                     [--commit C] [--baseline] [--append FILE | --check FILE] [--tolerance F]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Pull the last numeric value of `"key": <num>` out of a trajectory
+/// file (entries are appended, so the last occurrence is the most
+/// recent entry's).
+fn last_field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = None;
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        let tail = &rest[at + needle.len()..];
+        let num: String = tail
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse() {
+            out = Some(v);
+        }
+        rest = &rest[at + needle.len()..];
+    }
+    out
+}
+
+/// Best-of-N measurement: rerun the workload and keep the round with the
+/// shortest wall time. Each round is well under a second, so scheduler
+/// noise and cold caches inflate some rounds badly; the minimum is the
+/// stable estimator of what the machine can actually do, which keeps the
+/// CI regression gate from flapping.
+fn best_of(rounds: u32, mut measure: impl FnMut() -> Throughput) -> Throughput {
+    let mut best = measure();
+    for _ in 1..rounds.max(1) {
+        let t = measure();
+        if t.wall_s < best.wall_s {
+            best = t;
+        }
+    }
+    best
+}
+
+fn empty_trajectory() -> String {
+    "{\n  \"schema\": \"ompvar-bench-sim/1\",\n  \"entries\": [\n  ]\n}\n".to_string()
+}
+
+/// Insert `entry` into the trajectory's `entries` array, before the
+/// closing bracket.
+fn append_entry(path: &str, entry: &str) -> Result<(), String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => empty_trajectory(),
+    };
+    let close = text
+        .rfind("\n  ]")
+        .ok_or_else(|| format!("{path}: no entries array to append to"))?;
+    let empty = !text[..close].trim_end().ends_with('}');
+    let mut out = String::with_capacity(text.len() + entry.len() + 8);
+    out.push_str(&text[..close]);
+    if !empty {
+        out.push(',');
+    }
+    out.push('\n');
+    out.push_str(entry);
+    out.push_str(&text[close..]);
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))?;
+    Ok(())
+}
+
+fn summarize(name: &str, opt: &Throughput, refr: &Throughput) {
+    println!(
+        "{name:>10}: {:>12.0} events/sec  ({:.2} cases/sec, {} events, {:.2}s)",
+        opt.events_per_sec(),
+        opt.cases_per_sec(),
+        opt.events,
+        opt.wall_s
+    );
+    println!(
+        "{:>10}  {:>12.0} events/sec  (speedup {:.2}x)",
+        "reference:",
+        refr.events_per_sec(),
+        opt.events_per_sec() / refr.events_per_sec()
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let corpus = fuzz_corpus(args.cases);
+
+    if args.baseline {
+        eprintln!(
+            "measuring BASELINE (reference engine path only): fuzz workload ({} cases x2 runs), \
+             calibrated workload ({} reps)",
+            args.cases, args.reps
+        );
+        let fuzz = best_of(args.rounds, || run_fuzz_workload(&corpus, true));
+        let calibrated = best_of(args.rounds, || run_calibrated_workload(args.reps, true));
+        let straggler = best_of(args.rounds, || run_straggler_workload(args.reps, true));
+        println!(
+            "      fuzz: {:>12.0} events/sec  ({:.2} cases/sec)",
+            fuzz.events_per_sec(),
+            fuzz.cases_per_sec()
+        );
+        println!(
+            "calibrated: {:>12.0} events/sec",
+            calibrated.events_per_sec()
+        );
+        println!(
+            " straggler: {:>12.1} cases/sec",
+            straggler.cases_per_sec()
+        );
+        let entry = render_entry(
+            &args.label,
+            &args.commit,
+            args.cases,
+            &fuzz,
+            None,
+            &calibrated,
+            None,
+            &straggler,
+            None,
+        );
+        if let Some(path) = &args.append {
+            if let Err(e) = append_entry(path, &entry) {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+            println!("appended baseline entry to {path}");
+            return ExitCode::SUCCESS;
+        }
+        println!("{entry}");
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "measuring: fuzz workload ({} cases x2 runs), calibrated workload ({} reps), both engine paths",
+        args.cases, args.reps
+    );
+    let fuzz = best_of(args.rounds, || run_fuzz_workload(&corpus, false));
+    let fuzz_ref = best_of(args.rounds, || run_fuzz_workload(&corpus, true));
+    let calibrated = best_of(args.rounds, || run_calibrated_workload(args.reps, false));
+    let calibrated_ref = best_of(args.rounds, || run_calibrated_workload(args.reps, true));
+    let straggler = best_of(args.rounds, || run_straggler_workload(args.reps, false));
+    let straggler_ref = best_of(args.rounds, || run_straggler_workload(args.reps, true));
+
+    summarize("fuzz", &fuzz, &fuzz_ref);
+    summarize("calibrated", &calibrated, &calibrated_ref);
+    println!(
+        "{:>10}: {:>12.1} cases/sec  (reference {:.1}, speedup {:.2}x)",
+        "straggler",
+        straggler.cases_per_sec(),
+        straggler_ref.cases_per_sec(),
+        straggler.cases_per_sec() / straggler_ref.cases_per_sec()
+    );
+
+    // Cross-path sanity: both engines must have processed the identical
+    // event stream. This is the cheapest continuous equivalence check —
+    // the full one is qcheck oracle #11.
+    if fuzz.events != fuzz_ref.events || calibrated.events != calibrated_ref.events {
+        eprintln!(
+            "FATAL: optimized and reference paths diverged: fuzz {} vs {}, calibrated {} vs {}",
+            fuzz.events, fuzz_ref.events, calibrated.events, calibrated_ref.events
+        );
+        return ExitCode::from(3);
+    }
+
+    let entry = render_entry(
+        &args.label,
+        &args.commit,
+        args.cases,
+        &fuzz,
+        Some(&fuzz_ref),
+        &calibrated,
+        Some(&calibrated_ref),
+        &straggler,
+        Some(&straggler_ref),
+    );
+
+    if let Some(path) = &args.check {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (Some(base_opt), Some(base_ref)) = (
+            last_field(&committed, "fuzz_events_per_sec"),
+            last_field(&committed, "fuzz_ref_events_per_sec"),
+        ) else {
+            eprintln!("{path}: no committed entry with fuzz_events_per_sec / fuzz_ref_events_per_sec");
+            return ExitCode::from(2);
+        };
+        // Cancel machine speed: this machine's reference-path throughput
+        // over the committed one scales the committed optimized number
+        // to what it should be here.
+        let scale = fuzz_ref.events_per_sec() / base_ref;
+        let expected = base_opt * scale;
+        let floor = expected * (1.0 - args.tolerance);
+        let now = fuzz.events_per_sec();
+        println!(
+            "perf gate: now {now:.0} ev/s vs expected {expected:.0} ev/s (machine scale {scale:.2}, floor {floor:.0})"
+        );
+        if now < floor {
+            eprintln!(
+                "PERF REGRESSION: optimized fuzz throughput {now:.0} ev/s is below {:.0}% of the \
+                 machine-normalized committed baseline {expected:.0} ev/s",
+                (1.0 - args.tolerance) * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("perf gate: OK");
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.append {
+        if let Err(e) = append_entry(path, &entry) {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+        println!("appended entry to {path}");
+        return ExitCode::SUCCESS;
+    }
+
+    println!("{entry}");
+    ExitCode::SUCCESS
+}

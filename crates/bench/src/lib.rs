@@ -7,6 +7,8 @@
 //! (`crates/harness`); these benches track the *cost* of the experiments
 //! and guard the simulator against performance regressions.
 
+pub mod throughput;
+
 use criterion::Criterion;
 
 /// Criterion configured for simulation benches: few samples (each sample

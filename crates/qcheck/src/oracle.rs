@@ -40,7 +40,17 @@
 //!     tallies, same failures in the same order, same shrunk
 //!     counterexamples. Divergence means a case is not the pure function
 //!     of `(cfg, case)` the resumable executor relies on
-//!     ([`check_jobs_equivalence`]).
+//!     ([`check_jobs_equivalence`]);
+//! 11. **engine equivalence**: the simulator's optimized path (packed
+//!     4-ary event queue, topology caches, idle fast-forward, slab
+//!     reuse) and its independently implemented reference path (the
+//!     pre-optimization `BinaryHeap` queue, naive topology lookups, no
+//!     batching) must be observably indistinguishable — identical
+//!     semantic effects and bit-identical final virtual time on
+//!     success, and identical error values on failure
+//!     ([`check_engine_equivalence`]). This is the differential oracle
+//!     that lets every hot-path optimization land without weakening
+//!     the determinism contract.
 
 use ompvar_rt::native::NativeRuntime;
 use ompvar_rt::region::RegionSpec;
@@ -164,6 +174,58 @@ fn expect_eq(
     }
 }
 
+/// Engine-equivalence oracle (#11): run `region` on the simulator's
+/// optimized and reference engine paths and require them to be
+/// observably indistinguishable — equal [`SemanticEffects`],
+/// bit-identical final virtual time (compared through `f64` bits, no
+/// tolerance), and, when the run fails, the identical error value.
+/// Returns the violations (empty = equivalent).
+pub fn check_engine_equivalence(region: &RegionSpec, seed: u64) -> Vec<String> {
+    let mut reasons = Vec::new();
+    let opt = sim_runtime(region.n_threads).run(region, seed);
+    let refr = sim_runtime(region.n_threads)
+        .with_reference_engine(true)
+        .run(region, seed);
+    match (opt, refr) {
+        (Ok(o), Ok(r)) => {
+            if o.effects != r.effects {
+                reasons.push(format!(
+                    "engine equivalence (oracle #11): effects diverge between optimized \
+                     and reference engines:\n    optimized {:?}\n    reference {:?}",
+                    o.effects, r.effects
+                ));
+            }
+            if o.wall_us.to_bits() != r.wall_us.to_bits() {
+                reasons.push(format!(
+                    "engine equivalence (oracle #11): final virtual time diverges: \
+                     optimized {} us vs reference {} us",
+                    o.wall_us, r.wall_us
+                ));
+            }
+        }
+        (Err(o), Err(r)) => {
+            // Errors are part of the observable surface: a deadlock's
+            // diagnostics (who blocks on what, at what time) must match.
+            let (o, r) = (format!("{o:?}"), format!("{r:?}"));
+            if o != r {
+                reasons.push(format!(
+                    "engine equivalence (oracle #11): engines fail differently:\n    \
+                     optimized {o}\n    reference {r}"
+                ));
+            }
+        }
+        (Ok(_), Err(e)) => reasons.push(format!(
+            "engine equivalence (oracle #11): reference engine failed where the \
+             optimized engine succeeded: {e}"
+        )),
+        (Err(e), Ok(_)) => reasons.push(format!(
+            "engine equivalence (oracle #11): optimized engine failed where the \
+             reference engine succeeded: {e}"
+        )),
+    }
+    reasons
+}
+
 /// Run every oracle against `region` with the given seed. Returns the
 /// list of violations; an empty list means the case passed.
 pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
@@ -262,6 +324,11 @@ pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
             }
         }
     };
+
+    // Engine equivalence (oracle #11): the optimized and reference
+    // simulator paths must agree on every case — including the failing
+    // ones, where the error values themselves are compared.
+    reasons.extend(check_engine_equivalence(region, seed));
 
     // Interval shape: same marker ids with the same repetition counts on
     // both backends (mark-interval well-nesting oracle).
@@ -416,6 +483,32 @@ mod tests {
             gen: crate::gen::GenConfig::default(),
         };
         let reasons = check_jobs_equivalence(&cfg, 4);
+        assert!(reasons.is_empty(), "{reasons:#?}");
+    }
+
+    #[test]
+    fn engine_equivalence_compares_error_values_too() {
+        // The fuzz corpus' known runtime-deadlock straggler (a
+        // lock-order inversion the analyzer flags as may-deadlock): both
+        // engine paths must fail with the *identical* deadlock
+        // diagnostics, after the optimized path fast-forwarded the idle
+        // LoadBalance chain the reference path grinds through.
+        let cfg = crate::gen::GenConfig {
+            max_threads: 8,
+            max_block_len: 8,
+            max_depth: 3,
+            max_repeat: 8,
+            max_iters: 96,
+            max_body_us: 2.0,
+            max_tasks: 6,
+        };
+        let seed = crate::case_seed(0x5EED_F00D, 264);
+        let region = crate::gen::generate(seed, &cfg);
+        assert!(
+            sim_runtime(region.n_threads).run(&region, seed).is_err(),
+            "straggler case stopped deadlocking (generator drift?)"
+        );
+        let reasons = check_engine_equivalence(&region, seed);
         assert!(reasons.is_empty(), "{reasons:#?}");
     }
 

@@ -63,6 +63,12 @@ pub struct SimRuntime {
     /// Tracing never perturbs virtual time: traced and untraced runs of
     /// the same seed are time-identical.
     pub tracing: bool,
+    /// Route runs through the engine's *reference path*: the
+    /// pre-optimization binary-heap event queue and naive topology
+    /// lookups. Slower, independently implemented, and required to be
+    /// observably identical to the optimized path — the yardstick for
+    /// qcheck oracle #11 and the CI perf gate's machine normalization.
+    pub reference_engine: bool,
 }
 
 impl SimRuntime {
@@ -77,6 +83,7 @@ impl SimRuntime {
             time_limit: 3_000 * SEC,
             faults: FaultPlan::new(),
             tracing: false,
+            reference_engine: false,
         }
     }
 
@@ -107,6 +114,13 @@ impl SimRuntime {
     /// Enable or disable span tracing (see [`SimRuntime::tracing`]).
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Route runs through the engine's reference path (see
+    /// [`SimRuntime::reference_engine`]).
+    pub fn with_reference_engine(mut self, on: bool) -> Self {
+        self.reference_engine = on;
         self
     }
 
@@ -142,6 +156,54 @@ impl SimRuntime {
     /// (with per-task blocked-on diagnostics), the virtual-time budget
     /// in [`SimRuntime::time_limit`], or a malformed program.
     pub fn run(&self, region: &RegionSpec, seed: u64) -> Result<RegionResult, RtError> {
+        let (sim, allocs, marker_pairs, master) = self.prepare(region, seed)?;
+        let mut report = sim.run(self.time_limit).map_err(RtError::Sim)?;
+        let trace = report.trace.take();
+        let mut result = RegionResult {
+            wall_us: report.final_time as f64 / 1e3,
+            freq_samples: report.freq_samples.clone(),
+            counters: Some(report.counters),
+            thread_stats: report.task_stats.iter().map(|&(_, s)| s).collect(),
+            effects: harvest_effects(&allocs, &report),
+            trace,
+            ..Default::default()
+        };
+        for k in marker_pairs {
+            let us: Vec<f64> = report
+                .intervals(master, 2 * k, 2 * k + 1)
+                .into_iter()
+                .map(|t| t as f64 / 1e3)
+                .collect();
+            result.intervals_us.insert(k, us);
+        }
+        Ok(result)
+    }
+
+    /// Run `region` like [`SimRuntime::run`], but return the engine's raw
+    /// [`SimReport`] instead of folding it into a [`RegionResult`].
+    ///
+    /// This is the surface the determinism golden suite digests: every
+    /// field of the report (final time, markers, counters, per-task
+    /// stats, object effects, frequency samples, trace) must be
+    /// bit-identical across replays and across the optimized/reference
+    /// engine paths.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SimRuntime::run`].
+    pub fn run_report(&self, region: &RegionSpec, seed: u64) -> Result<SimReport, RtError> {
+        let (sim, _, _, _) = self.prepare(region, seed)?;
+        sim.run(self.time_limit).map_err(RtError::Sim)
+    }
+
+    /// Validate, lower, and configure one run: the shared front half of
+    /// [`SimRuntime::run`] and [`SimRuntime::run_report`].
+    #[allow(clippy::type_complexity)]
+    fn prepare(
+        &self,
+        region: &RegionSpec,
+        seed: u64,
+    ) -> Result<(Simulator, Vec<Alloc>, BTreeSet<u32>, TaskId), RtError> {
         region.validate().map_err(RtError::InvalidRegion)?;
         let mut sim = Simulator::new(self.machine.clone(), self.params.clone(), seed);
         let span = self.span_factor(region);
@@ -189,27 +251,11 @@ impl SimRuntime {
         if self.tracing {
             sim.enable_tracing();
         }
-        let mut report = sim.run(self.time_limit).map_err(RtError::Sim)?;
-        let trace = report.trace.take();
-        let master = master.expect("team is non-empty");
-        let mut result = RegionResult {
-            wall_us: report.final_time as f64 / 1e3,
-            freq_samples: report.freq_samples.clone(),
-            counters: Some(report.counters),
-            thread_stats: report.task_stats.iter().map(|&(_, s)| s).collect(),
-            effects: harvest_effects(&allocs, &report),
-            trace,
-            ..Default::default()
-        };
-        for k in marker_pairs {
-            let us: Vec<f64> = report
-                .intervals(master, 2 * k, 2 * k + 1)
-                .into_iter()
-                .map(|t| t as f64 / 1e3)
-                .collect();
-            result.intervals_us.insert(k, us);
+        if self.reference_engine {
+            sim.use_reference_engine();
         }
-        Ok(result)
+        let master = master.expect("team is non-empty");
+        Ok((sim, allocs, marker_pairs, master))
     }
 }
 

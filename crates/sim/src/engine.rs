@@ -33,7 +33,7 @@ use crate::time::{from_ns_f64, Time};
 use crate::trace::{Counters, FreqSample, MarkerRecord, ObjEffects, SimReport};
 use ompvar_obs::EventKind as TraceKind;
 use ompvar_obs::{InstantKind, SpanKind, Trace, TraceEvent, CORE_UNKNOWN, THREAD_GLOBAL};
-use ompvar_topology::{HwThreadId, MachineSpec, Place};
+use ompvar_topology::{CoreId, HwThreadId, MachineSpec, Place};
 use std::collections::VecDeque;
 
 /// Per-hardware-thread scheduler state.
@@ -119,7 +119,7 @@ struct NoiseStream {
 }
 
 /// Frequency-logger configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct LoggerCfg {
     /// CPU that hosts the logger process (its sampling cost runs there);
     /// `None` = a free-floating observer without CPU cost.
@@ -171,6 +171,35 @@ pub struct Simulator {
     /// Span/instant event buffer; `Some` iff tracing is enabled. Virtual
     /// time is unaffected by tracing: recording costs nothing in-model.
     trace: Option<Vec<TraceEvent>>,
+    /// Reference-engine mode: run on the pre-optimization event queue
+    /// (plain `BinaryHeap`) and recompute every topology lookup through
+    /// `MachineSpec` instead of the flat caches, with no tick
+    /// fast-forwarding. The observable event stream is identical to the
+    /// optimized path by construction; this mode exists as the yardstick
+    /// for equivalence oracles, cross-implementation golden checks, and
+    /// machine-independent CI perf normalization.
+    reference: bool,
+    /// Physical core of each hardware thread (flat topology cache).
+    cpu_core: Vec<u32>,
+    /// Socket of each hardware thread.
+    cpu_socket: Vec<u32>,
+    /// NUMA domain of each hardware thread.
+    cpu_numa: Vec<u32>,
+    /// Socket of each physical core.
+    core_socket: Vec<u32>,
+    /// Hardware threads of each socket, ascending.
+    socket_cpus: Vec<Vec<usize>>,
+    /// `machine.n_cores()`, copied out of the spec for the regular-layout
+    /// sibling formula `hw = core + smt_lane * n_cores`.
+    n_cores: usize,
+    /// `machine.smt` (SMT ways per core).
+    smt: usize,
+    /// Scratch buffer reused by per-event CPU collections (bandwidth
+    /// repricing, frequency re-evaluation, fault storms). Take/put-back
+    /// discipline: `std::mem::take` it, use it, clear and restore it, so
+    /// accidental re-entry degrades to a fresh allocation rather than
+    /// corruption.
+    scratch_cpus: Vec<usize>,
 }
 
 impl Simulator {
@@ -211,7 +240,36 @@ impl Simulator {
                 }
             }
         }
+        // Flat topology caches. The spec's layout is regular (see
+        // `MachineSpec`), so these hold exactly the values the
+        // `machine.*_of` lookups compute; the reference engine recomputes
+        // them through the spec on every use as a cross-check.
+        let cpu_core: Vec<u32> = (0..n_cpu)
+            .map(|h| machine.core_of(HwThreadId(h)).0 as u32)
+            .collect();
+        let cpu_socket: Vec<u32> = (0..n_cpu)
+            .map(|h| machine.socket_of(HwThreadId(h)).0 as u32)
+            .collect();
+        let cpu_numa: Vec<u32> = (0..n_cpu)
+            .map(|h| machine.numa_of(HwThreadId(h)).0 as u32)
+            .collect();
+        let core_socket: Vec<u32> = (0..machine.n_cores())
+            .map(|c| machine.socket_of_numa(machine.numa_of_core(CoreId(c))).0 as u32)
+            .collect();
+        let mut socket_cpus: Vec<Vec<usize>> = vec![Vec::new(); machine.sockets];
+        for h in 0..n_cpu {
+            socket_cpus[cpu_socket[h] as usize].push(h);
+        }
         Simulator {
+            reference: false,
+            cpu_core,
+            cpu_socket,
+            cpu_numa,
+            core_socket,
+            socket_cpus,
+            n_cores: machine.n_cores(),
+            smt: machine.smt,
+            scratch_cpus: Vec::new(),
             cpus: (0..n_cpu).map(|_| Cpu::new()).collect(),
             sockets,
             domains: (0..machine.n_numa()).map(|_| Domain::default()).collect(),
@@ -349,6 +407,31 @@ impl Simulator {
         self.event_budget = Some(budget);
     }
 
+    /// Run on the reference engine: the pre-optimization `BinaryHeap`
+    /// event queue, naive per-use topology lookups through the
+    /// [`MachineSpec`], and no idle-period tick fast-forwarding.
+    ///
+    /// The reference path processes the *identical* event stream — same
+    /// pop order, same RNG draws, same counters — so a seed run on either
+    /// path yields a bit-identical [`SimReport`]. It exists as the
+    /// yardstick: equivalence oracles diff the two paths, the golden
+    /// determinism suite pins both to one digest, and the CI perf gate
+    /// divides optimized throughput by reference throughput to get a
+    /// machine-independent speedup.
+    pub fn use_reference_engine(&mut self) {
+        assert!(
+            !self.started,
+            "engine flavor must be chosen before run()"
+        );
+        self.reference = true;
+        self.queue = EventQueue::new_reference();
+    }
+
+    /// Is this simulator on the reference (pre-optimization) path?
+    pub fn is_reference_engine(&self) -> bool {
+        self.reference
+    }
+
     /// Turn on span/instant tracing. Tracing records construct timelines
     /// (region, barrier, workshare, …) into the report's [`Trace`] without
     /// perturbing virtual time: traced and untraced runs of the same seed
@@ -396,11 +479,27 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn socket_of_cpu(&self, cpu: usize) -> usize {
-        self.machine.socket_of(HwThreadId(cpu)).0
+        if self.reference {
+            self.machine.socket_of(HwThreadId(cpu)).0
+        } else {
+            self.cpu_socket[cpu] as usize
+        }
     }
 
     fn numa_of_cpu(&self, cpu: usize) -> usize {
-        self.machine.numa_of(HwThreadId(cpu)).0
+        if self.reference {
+            self.machine.numa_of(HwThreadId(cpu)).0
+        } else {
+            self.cpu_numa[cpu] as usize
+        }
+    }
+
+    fn core_of_cpu(&self, cpu: usize) -> usize {
+        if self.reference {
+            self.machine.core_of(HwThreadId(cpu)).0
+        } else {
+            self.cpu_core[cpu] as usize
+        }
     }
 
     fn ghz(&self, cpu: usize) -> f64 {
@@ -408,10 +507,22 @@ impl Simulator {
     }
 
     fn sibling_busy(&self, cpu: usize) -> bool {
-        self.machine
-            .siblings_of(HwThreadId(cpu))
-            .iter()
-            .any(|s| self.cpus[s.0].running.is_some())
+        if self.reference {
+            return self
+                .machine
+                .siblings_of(HwThreadId(cpu))
+                .iter()
+                .any(|s| self.cpus[s.0].running.is_some());
+        }
+        // `core_busy` counts hardware threads of the core with a task
+        // installed (maintained solely by `set_running`), so the sibling
+        // scan collapses to one counter read: subtract this thread's own
+        // contribution and ask whether anything is left.
+        let mut n = self.core_busy[self.cpu_core[cpu] as usize];
+        if self.cpus[cpu].running.is_some() {
+            n -= 1;
+        }
+        n > 0
     }
 
     /// Progress rate of the given timed micro-op on `cpu`, in
@@ -582,7 +693,8 @@ impl Simulator {
         // Account every affected peer's progress *before* the accessor
         // sets change: their elapsed streaming ran at the old contention
         // level, and `touch` prices with the current set.
-        let mut affected = Vec::new();
+        let mut affected = std::mem::take(&mut self.scratch_cpus);
+        affected.clear();
         if let Some(d) = cached {
             affected.extend(self.domains[d].streamers.iter().copied().filter(|&c| c != cpu));
         }
@@ -604,9 +716,11 @@ impl Simulator {
             self.domains[d].streamers.push(cpu);
         }
         self.cpus[cpu].streaming = desired;
-        for peer in affected {
-            self.schedule_boundary(peer);
+        for &c in &affected {
+            self.schedule_boundary(c);
         }
+        affected.clear();
+        self.scratch_cpus = affected;
     }
 
     /// Install `tid` (or nothing) as the running task of `cpu`, keeping
@@ -627,7 +741,7 @@ impl Simulator {
         }
         let is_busy = self.cpus[cpu].running.is_some();
         if was_busy != is_busy {
-            let core = self.machine.core_of(HwThreadId(cpu)).0;
+            let core = self.core_of_cpu(cpu);
             let socket = self.socket_of_cpu(cpu);
             if is_busy {
                 self.core_busy[core] += 1;
@@ -659,11 +773,25 @@ impl Simulator {
                 }
                 self.cpus[cpu].tick_token += 1; // cancel ticks
             }
-            // SMT sibling rate changed.
-            for sib in self.machine.siblings_of(HwThreadId(cpu)) {
-                if self.cpus[sib.0].running.is_some() {
-                    self.touch(sib.0);
-                    self.schedule_boundary(sib.0);
+            // SMT sibling rate changed. The layout is regular
+            // (`hw = core + lane * n_cores`), so the optimized path walks
+            // the lanes directly instead of materializing a sibling Vec;
+            // both orders are ascending, so the touch/reschedule sequence
+            // is identical.
+            if self.reference {
+                for sib in self.machine.siblings_of(HwThreadId(cpu)) {
+                    if self.cpus[sib.0].running.is_some() {
+                        self.touch(sib.0);
+                        self.schedule_boundary(sib.0);
+                    }
+                }
+            } else {
+                for lane in 0..self.smt {
+                    let sib = core + lane * self.n_cores;
+                    if sib != cpu && self.cpus[sib].running.is_some() {
+                        self.touch(sib);
+                        self.schedule_boundary(sib);
+                    }
                 }
             }
         }
@@ -909,8 +1037,16 @@ impl Simulator {
                     };
                     let woken = p.complete();
                     let cost = self.params.sync.lock_ns;
-                    for w in woken {
-                        self.wake(w, cost);
+                    if !woken.is_empty() {
+                        for &w in &woken {
+                            self.wake(w, cost);
+                        }
+                        // Return the drained waiter list for later
+                        // task-waits to re-use (empty drains carry no
+                        // allocation and are simply dropped).
+                        if let SyncObj::TaskPool(p) = &mut self.objs[obj.0 as usize] {
+                            p.recycle(woken);
+                        }
                     }
                 }
                 MicroOp::SingleTry { obj, body_cycles } => {
@@ -1152,12 +1288,17 @@ impl Simulator {
             // The last arriver pays the base release cost itself.
             self.tasks[tid.0 as usize].pending_overhead_ns += base * span;
             self.trace_task(tid, TraceKind::End(SpanKind::Barrier));
-            for w in waiters {
+            for &w in &waiters {
                 let wcpu = self.tasks[w.0 as usize].cpu;
                 let d = self
                     .machine
                     .distance(HwThreadId(last_cpu), HwThreadId(wcpu)) as f64;
                 self.wake(w, base + per_dist * d);
+            }
+            // Hand the drained waiter list back so the next round's
+            // arrivals re-use its capacity instead of growing a fresh one.
+            if let SyncObj::Barrier(b) = &mut self.objs[obj.0 as usize] {
+                b.recycle(waiters);
             }
             false
         } else {
@@ -1204,12 +1345,12 @@ impl Simulator {
             let target = if self.rng_place.chance(self.params.sched.wake_misplace_prob) {
                 let c = self.rng_place.index(self.cpus.len());
                 if self.cpus[c].offline {
-                    Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+                    Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine, self.reference)
                 } else {
                     c
                 }
             } else {
-                Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+                Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine, self.reference)
             };
             if target != cpu {
                 // Detach from the current CPU (running or queued).
@@ -1271,18 +1412,54 @@ impl Simulator {
     /// first, then idle CPUs, then minimal queue length; ties broken
     /// randomly. Offline CPUs are never chosen (the hotplug fault keeps
     /// at least one CPU online).
-    fn least_loaded_cpu(rng: &mut Rng, cpus: &[Cpu], machine: &MachineSpec) -> usize {
-        let mut best_key = (u8::MAX, usize::MAX);
-        let mut best: Vec<usize> = Vec::new();
-        for (i, c) in cpus.iter().enumerate() {
+    fn least_loaded_cpu(rng: &mut Rng, cpus: &[Cpu], machine: &MachineSpec, reference: bool) -> usize {
+        if reference {
+            // Pre-optimization body, kept verbatim: candidate Vec plus
+            // per-CPU sibling-Vec allocations.
+            let mut best_key = (u8::MAX, usize::MAX);
+            let mut best: Vec<usize> = Vec::new();
+            for (i, c) in cpus.iter().enumerate() {
+                if c.offline {
+                    continue;
+                }
+                let load = c.load();
+                let core_idle = machine
+                    .hw_threads_of_core(machine.core_of(HwThreadId(i)))
+                    .iter()
+                    .all(|h| cpus[h.0].load() == 0);
+                let class = if load == 0 && core_idle {
+                    0
+                } else if load == 0 {
+                    1
+                } else {
+                    2
+                };
+                let key = (class, load);
+                if key < best_key {
+                    best_key = key;
+                    best.clear();
+                    best.push(i);
+                } else if key == best_key {
+                    best.push(i);
+                }
+            }
+            return best[rng.index(best.len())];
+        }
+        // Allocation-free variant: two passes over the CPUs, first to
+        // find the best (class, load) key and the candidate count, then —
+        // after drawing `rng.index(count)`, the same single RNG draw the
+        // reference body makes over the same candidate set — to locate
+        // the drawn candidate. Core idleness comes from the regular
+        // layout (`hw = core + lane * n_cores`) instead of a sibling Vec.
+        let n_cores = machine.n_cores();
+        let smt = machine.smt;
+        let key_of = |i: usize, c: &Cpu| -> Option<(u8, usize)> {
             if c.offline {
-                continue;
+                return None;
             }
             let load = c.load();
-            let core_idle = machine
-                .hw_threads_of_core(machine.core_of(HwThreadId(i)))
-                .iter()
-                .all(|h| cpus[h.0].load() == 0);
+            let core = i % n_cores;
+            let core_idle = (0..smt).all(|s| cpus[core + s * n_cores].load() == 0);
             let class = if load == 0 && core_idle {
                 0
             } else if load == 0 {
@@ -1290,16 +1467,30 @@ impl Simulator {
             } else {
                 2
             };
-            let key = (class, load);
-            if key < best_key {
-                best_key = key;
-                best.clear();
-                best.push(i);
-            } else if key == best_key {
-                best.push(i);
+            Some((class, load))
+        };
+        let mut best_key = (u8::MAX, usize::MAX);
+        let mut count = 0usize;
+        for (i, c) in cpus.iter().enumerate() {
+            match key_of(i, c) {
+                Some(key) if key < best_key => {
+                    best_key = key;
+                    count = 1;
+                }
+                Some(key) if key == best_key => count += 1,
+                _ => {}
             }
         }
-        best[rng.index(best.len())]
+        let mut k = rng.index(count);
+        for (i, c) in cpus.iter().enumerate() {
+            if key_of(i, c) == Some(best_key) {
+                if k == 0 {
+                    return i;
+                }
+                k -= 1;
+            }
+        }
+        unreachable!("candidate set changed between passes")
     }
 
     /// Initial placement of a user task.
@@ -1322,7 +1513,7 @@ impl Simulator {
                     }
                 }
                 best.unwrap_or_else(|| {
-                    Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+                    Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine, self.reference)
                 })
             }
             None => {
@@ -1332,12 +1523,12 @@ impl Simulator {
                 {
                     let c = self.rng_place.index(self.cpus.len());
                     if self.cpus[c].offline {
-                        Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+                        Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine, self.reference)
                     } else {
                         c
                     }
                 } else {
-                    Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+                    Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine, self.reference)
                 }
             }
         }
@@ -1405,11 +1596,10 @@ impl Simulator {
 
     /// Spawn one kernel noise task of duration `ns` on `cpu`.
     fn spawn_kernel(&mut self, cpu: usize, ns: f64) {
-        let program = Program::new(vec![Op::Busy { ns }]);
         let tid = match self.kernel_freelist.pop() {
             Some(id) => {
                 let t = &mut self.tasks[id.0 as usize];
-                t.program = program;
+                t.program.reset_to_busy(ns);
                 t.pc = 0;
                 t.frames.clear();
                 t.micro.clear();
@@ -1421,6 +1611,7 @@ impl Simulator {
             }
             None => {
                 let id = TaskId(self.tasks.len() as u32);
+                let program = Program::new(vec![Op::Busy { ns }]);
                 self.tasks
                     .push(Task::new(id, TaskKind::Kernel, 0, program, None));
                 id
@@ -1570,7 +1761,7 @@ impl Simulator {
             self.queue
                 .push(self.params.sched.balance_interval, EventKind::LoadBalance);
         }
-        if let Some(cfg) = self.logger.clone() {
+        if let Some(cfg) = self.logger {
             self.queue.push(cfg.period, EventKind::FreqSample);
         }
         // Schedule fault injections (and the ends of timed windows).
@@ -1637,12 +1828,24 @@ impl Simulator {
         if self.now >= at.saturating_add(duration) {
             return;
         }
-        let online: Vec<usize> = (0..self.cpus.len())
-            .filter(|&c| !self.cpus[c].offline)
-            .collect();
+        // Draw the target from the online set without materializing it:
+        // count, draw an index, then find the drawn CPU — the same single
+        // `rng.index(count)` over the same set as the collected variant.
+        let n_online = self.cpus.iter().filter(|c| !c.offline).count();
         let (cpu, dur_ns, dt_ns) = {
             let rng = &mut self.fault_rngs[idx];
-            let cpu = online[rng.index(online.len())];
+            let mut k = rng.index(n_online);
+            let mut cpu = usize::MAX;
+            for (i, c) in self.cpus.iter().enumerate() {
+                if !c.offline {
+                    if k == 0 {
+                        cpu = i;
+                        break;
+                    }
+                    k -= 1;
+                }
+            }
+            debug_assert!(cpu != usize::MAX);
             (
                 cpu,
                 rng.lognormal(median_task as f64, sigma),
@@ -1677,7 +1880,7 @@ impl Simulator {
             self.migrate(tid, cpu, target);
         }
         for tid in kq {
-            let target = Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine);
+            let target = Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine, self.reference);
             self.enqueue(tid, target);
         }
         // Evict whatever is on the CPU right now (running or spinning).
@@ -1691,7 +1894,7 @@ impl Simulator {
                 }
                 TaskKind::Kernel => {
                     let target =
-                        Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine);
+                        Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine, self.reference);
                     self.enqueue(tid, target);
                 }
             }
@@ -1720,7 +1923,7 @@ impl Simulator {
                 return b;
             }
         }
-        Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+        Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine, self.reference)
     }
 
     /// Apply (or lift, with `cap: None`) a frequency cap on one socket or
@@ -1853,13 +2056,14 @@ impl Simulator {
                                         &mut stream.rng,
                                         &self.cpus,
                                         &self.machine,
+                                        self.reference,
                                     )
                                 }
                                 None => prev,
                             }
                         }
                     } else {
-                        Self::least_loaded_cpu(&mut stream.rng, &self.cpus, &self.machine)
+                        Self::least_loaded_cpu(&mut stream.rng, &self.cpus, &self.machine, self.reference)
                     }
                 }
             };
@@ -1867,7 +2071,7 @@ impl Simulator {
         };
         // A hotplugged-off CPU takes no interrupts/kernel work: redirect.
         let cpu = if self.cpus[cpu].offline {
-            Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine)
+            Self::least_loaded_cpu(&mut self.rng_place, &self.cpus, &self.machine, self.reference)
         } else {
             cpu
         };
@@ -1936,11 +2140,25 @@ impl Simulator {
 
     fn handle_freq_reeval(&mut self, socket: usize) {
         let active = self.sockets[socket].active_cores;
-        let clock = self.machine.clock.clone();
-        let mut target = clock.sustainable_ghz(active.max(1));
+        // Pull the needed scalars out of the clock spec up front instead
+        // of cloning it (the spec owns its turbo-bin table; cloning it on
+        // every re-evaluation was pure allocation churn). `sustainable`
+        // is computed once and used for both the retarget and the
+        // headroom test — the spec is immutable in between, so the value
+        // is the same one the two original calls produced.
+        let sustainable = self.machine.clock.sustainable_ghz(active.max(1));
+        let base_ghz = self.machine.clock.base_ghz;
+        let all_core = self
+            .machine
+            .clock
+            .turbo_bins
+            .last()
+            .copied()
+            .unwrap_or(self.machine.clock.max_ghz);
+        let mut target = sustainable;
         if self.sockets[socket].pulse_active {
             target *= 1.0 - self.params.freq.pulse_depth;
-            target = target.max(clock.base_ghz * 0.9);
+            target = target.max(base_ghz * 0.9);
         }
         if let Some(cap) = self.sockets[socket].cap_ghz {
             // Thermal-capping fault: hard ceiling, below any turbo bin.
@@ -1952,12 +2170,25 @@ impl Simulator {
             // event has no single core, and the socket is what Perfetto
             // users correlate against the counter tracks.
             self.trace_global(InstantKind::FreqRetarget, socket as u32);
-            // Reprice everything busy on this socket.
-            let cpus: Vec<usize> = (0..self.cpus.len())
-                .filter(|&c| {
+            // Reprice everything busy on this socket. The optimized path
+            // walks the precomputed per-socket CPU list (ascending, the
+            // same order the reference scan over all CPUs visits) into a
+            // reused scratch buffer; the reference path re-filters the
+            // full CPU range through the spec lookups every time.
+            let mut cpus = std::mem::take(&mut self.scratch_cpus);
+            cpus.clear();
+            if self.reference {
+                cpus.extend((0..self.cpus.len()).filter(|&c| {
                     self.socket_of_cpu(c) == socket && self.cpus[c].running.is_some()
-                })
-                .collect();
+                }));
+            } else {
+                cpus.extend(
+                    self.socket_cpus[socket]
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.cpus[c].running.is_some()),
+                );
+            }
             for &c in &cpus {
                 self.touch(c);
             }
@@ -1965,14 +2196,11 @@ impl Simulator {
             for &c in &cpus {
                 self.schedule_boundary(c);
             }
+            cpus.clear();
+            self.scratch_cpus = cpus;
         }
         // Arm or disarm the pulse process based on turbo headroom.
-        let all_core = clock
-            .turbo_bins
-            .last()
-            .copied()
-            .unwrap_or(clock.max_ghz);
-        let headroom = clock.sustainable_ghz(active.max(1)) - all_core;
+        let headroom = sustainable - all_core;
         let unstable = active > 0 && headroom > self.params.freq.stable_headroom_ghz;
         if unstable && !self.sockets[socket].pulse_armed {
             self.sockets[socket].pulse_armed = true;
@@ -2017,17 +2245,22 @@ impl Simulator {
     }
 
     fn handle_freq_sample(&mut self) {
-        let Some(cfg) = self.logger.clone() else {
+        let Some(cfg) = self.logger else {
             return;
         };
         let idle_ghz = (self.machine.clock.base_ghz * 0.6) as f32;
         let core_ghz: Vec<f32> = (0..self.machine.n_cores())
             .map(|core| {
                 if self.core_busy[core] > 0 {
-                    let socket = self
-                        .machine
-                        .socket_of_numa(self.machine.numa_of_core(ompvar_topology::CoreId(core)))
-                        .0;
+                    let socket = if self.reference {
+                        self.machine
+                            .socket_of_numa(
+                                self.machine.numa_of_core(ompvar_topology::CoreId(core)),
+                            )
+                            .0
+                    } else {
+                        self.core_socket[core] as usize
+                    };
                     self.sockets[socket].applied_ghz as f32
                 } else {
                     idle_ghz
@@ -2067,6 +2300,9 @@ impl Simulator {
             return Err(err);
         }
         while self.users_remaining > 0 {
+            if !self.reference {
+                self.fast_forward_idle(limit);
+            }
             let Some((t, ev)) = self.queue.pop() else {
                 return Err(SimError::Deadlock {
                     time: self.now,
@@ -2108,6 +2344,107 @@ impl Simulator {
             }
         }
         Ok(self.make_report())
+    }
+
+    /// Idle-period fast-forward: while the earliest pending event is a
+    /// pure self-rescheduling no-op, a whole chain of them can be
+    /// absorbed in O(1) heap operations instead of one pop/push per
+    /// event. Two event kinds qualify:
+    ///
+    /// * a valid [`EventKind::TimerTick`] for a CPU whose task is
+    ///   spin-waiting — the tick handler's entire effect is
+    ///   `events += 1`, `ticks += 1`, and a re-push one period later;
+    /// * an [`EventKind::LoadBalance`] while every CPU's user queue is
+    ///   empty — `load_balance`'s per-CPU `while` condition fails
+    ///   everywhere, so the pass mutates nothing and draws no RNG, and
+    ///   the handler's entire effect is `events += 1` plus the re-push.
+    ///
+    /// This is where a deadlocked-but-ticking (or merely
+    /// balance-polling) run stops costing wall-clock time proportional
+    /// to the virtual time limit.
+    ///
+    /// Bit-identity with the unbatched loop is preserved exactly:
+    ///
+    /// * only events that would pop *next* are absorbed — event `i ≥ 2`
+    ///   of a batch must beat every other pending event strictly (its
+    ///   fresh seq loses time ties), bounded by
+    ///   [`EventQueue::second_time`]. Nothing else pops inside a batch,
+    ///   so the eligibility predicate cannot change mid-batch;
+    /// * `now` and the counters advance by the same amounts, and
+    ///   [`EventQueue::bump_seq`] burns the seq numbers the absorbed
+    ///   re-pushes would have consumed, so every future FIFO tie-break
+    ///   is unchanged;
+    /// * events past `limit` or past the event budget are left in the
+    ///   queue for the main loop to trip the error path on, with `now`
+    ///   and the counters in the identical state.
+    fn fast_forward_idle(&mut self, limit: Time) {
+        loop {
+            let Some((t0, ev)) = self.queue.peek() else {
+                return;
+            };
+            // Eligibility + period per kind; `ticks` says whether the
+            // absorbed events also count into `counters.ticks`.
+            let (period, ticks) = match *ev {
+                EventKind::TimerTick { cpu, token } => {
+                    if token != self.cpus[cpu].tick_token {
+                        return;
+                    }
+                    let Some(tid) = self.cpus[cpu].running else {
+                        return;
+                    };
+                    if !matches!(self.tasks[tid.0 as usize].state, TaskState::Waiting(_)) {
+                        return;
+                    }
+                    (self.params.sched.tick_period, true)
+                }
+                EventKind::LoadBalance => {
+                    if !self.cpus.iter().all(|c| c.uq.is_empty()) {
+                        return;
+                    }
+                    (self.params.sched.balance_interval, false)
+                }
+                _ => return,
+            };
+            if t0 > limit {
+                return;
+            }
+            if period == 0 {
+                return;
+            }
+            if let Some(b) = self.event_budget {
+                if self.counters.events >= b {
+                    // The head event itself will trip the budget; let the
+                    // main loop pop it and take the error path.
+                    return;
+                }
+            }
+            // How many events beyond the head can be absorbed?
+            let by_second = match self.queue.second_time() {
+                // Event i ≥ 2 must pop strictly before the next other
+                // event: t0 + e*period ≤ second - 1.
+                Some(second) => (second.saturating_sub(1).saturating_sub(t0)) / period,
+                None => u64::MAX,
+            };
+            let by_limit = (limit - t0) / period;
+            let mut extra = by_second.min(by_limit);
+            if let Some(b) = self.event_budget {
+                // Absorb at most up to the budget line; the first event
+                // past it must be popped live so the error fires with the
+                // counters in the unbatched state.
+                extra = extra.min(b - self.counters.events - 1);
+            }
+            let k = extra + 1;
+            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            self.now = t0 + extra * period;
+            self.counters.events += k;
+            if ticks {
+                self.counters.ticks += k;
+            }
+            // Each absorbed event's re-push would have consumed one seq
+            // number; burn all but the last, which the real re-push takes.
+            self.queue.bump_seq(k - 1);
+            self.queue.push(self.now + period, ev);
+        }
     }
 
     /// Build the report for the current state (consuming markers/samples).

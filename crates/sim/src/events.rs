@@ -1,4 +1,22 @@
 //! The discrete-event core: event kinds and the time-ordered queue.
+//!
+//! The queue has two interchangeable implementations behind one API:
+//!
+//! * **Packed** (default): a 4-ary min-heap over a single `Vec` of
+//!   `(key, kind)` entries, where `key` packs `(time, seq)` into one
+//!   `u128` so ordering is a single integer compare. A 4-ary layout
+//!   halves the tree depth of a binary heap and keeps sift-down's
+//!   child scan inside one or two cache lines — the classic DES
+//!   event-queue layout (`(next_tick, id)` min-heap).
+//! * **Reference**: the original `std::collections::BinaryHeap` of
+//!   `HeapEntry` with a reversed `Ord`. Kept verbatim as the
+//!   independently implemented yardstick: qcheck oracle #11 and the
+//!   determinism golden suite hold the two paths to bit-identical
+//!   pop streams.
+//!
+//! Both implementations pop in ascending `(time, seq)` order — earliest
+//! first, ties broken FIFO by insertion sequence — which is what makes
+//! the engine's replay deterministic.
 
 use crate::time::Time;
 use std::cmp::Ordering;
@@ -66,6 +84,110 @@ pub enum EventKind {
     },
 }
 
+/// Pack `(time, seq)` into one ordered key: ascending `u128` order is
+/// ascending time with FIFO tie-break.
+#[inline]
+fn pack(time: Time, seq: u64) -> u128 {
+    ((time as u128) << 64) | seq as u128
+}
+
+#[inline]
+fn unpack_time(key: u128) -> Time {
+    (key >> 64) as Time
+}
+
+// ---------------------------------------------------------------------
+// Optimized path: packed-key 4-ary min-heap
+// ---------------------------------------------------------------------
+
+/// 4-ary min-heap over packed keys. Entries live in one contiguous
+/// `Vec`; each sift-down step scans at most four children that sit next
+/// to each other in memory.
+#[derive(Debug, Default)]
+struct PackedHeap {
+    entries: Vec<(u128, EventKind)>,
+}
+
+impl PackedHeap {
+    const ARITY: usize = 4;
+
+    fn with_capacity(cap: usize) -> Self {
+        PackedHeap {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, key: u128, kind: EventKind) {
+        self.entries.push((key, kind));
+        // Sift up.
+        let mut i = self.entries.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / Self::ARITY;
+            if self.entries[parent].0 <= self.entries[i].0 {
+                break;
+            }
+            self.entries.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u128, EventKind)> {
+        let n = self.entries.len();
+        if n == 0 {
+            return None;
+        }
+        self.entries.swap(0, n - 1);
+        let top = self.entries.pop();
+        // Sift down.
+        let n = self.entries.len();
+        let mut i = 0;
+        loop {
+            let first = i * Self::ARITY + 1;
+            if first >= n {
+                break;
+            }
+            let last = (first + Self::ARITY).min(n);
+            let mut best = first;
+            for c in first + 1..last {
+                if self.entries[c].0 < self.entries[best].0 {
+                    best = c;
+                }
+            }
+            if self.entries[best].0 >= self.entries[i].0 {
+                break;
+            }
+            self.entries.swap(i, best);
+            i = best;
+        }
+        top
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&(u128, EventKind)> {
+        self.entries.first()
+    }
+
+    /// Smallest key excluding the root: the minimum over the root's
+    /// children (every other entry is dominated by one of them).
+    #[inline]
+    fn second_key(&self) -> Option<u128> {
+        let n = self.entries.len();
+        if n < 2 {
+            return None;
+        }
+        self.entries[1..n.min(1 + Self::ARITY)]
+            .iter()
+            .map(|e| e.0)
+            .min()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference path: the original BinaryHeap layout, kept verbatim
+// ---------------------------------------------------------------------
+
 #[derive(Debug, Clone, Copy)]
 struct HeapEntry {
     time: Time,
@@ -97,42 +219,111 @@ impl Ord for HeapEntry {
     }
 }
 
+#[derive(Debug)]
+enum QueueImpl {
+    Packed(PackedHeap),
+    Reference(BinaryHeap<HeapEntry>),
+}
+
 /// Time-ordered event queue with deterministic FIFO tie-breaking.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<HeapEntry>,
+    imp: QueueImpl,
     seq: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
 impl EventQueue {
-    /// An empty queue.
+    /// An empty queue on the optimized (packed 4-ary heap) path.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(1024),
+            imp: QueueImpl::Packed(PackedHeap::with_capacity(1024)),
             seq: 0,
         }
     }
 
+    /// An empty queue on the reference (`BinaryHeap`) path.
+    pub fn new_reference() -> Self {
+        EventQueue {
+            imp: QueueImpl::Reference(BinaryHeap::with_capacity(1024)),
+            seq: 0,
+        }
+    }
+
+    /// Is this the reference implementation?
+    pub fn is_reference(&self) -> bool {
+        matches!(self.imp, QueueImpl::Reference(_))
+    }
+
     /// Schedule `kind` at absolute time `time`.
+    #[inline]
     pub fn push(&mut self, time: Time, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(HeapEntry { time, seq, kind });
+        match &mut self.imp {
+            QueueImpl::Packed(h) => h.push(pack(time, seq), kind),
+            QueueImpl::Reference(h) => h.push(HeapEntry { time, seq, kind }),
+        }
     }
 
     /// Pop the earliest event, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Time, EventKind)> {
-        self.heap.pop().map(|e| (e.time, e.kind))
+        match &mut self.imp {
+            QueueImpl::Packed(h) => h.pop().map(|(k, kind)| (unpack_time(k), kind)),
+            QueueImpl::Reference(h) => h.pop().map(|e| (e.time, e.kind)),
+        }
+    }
+
+    /// The earliest pending event, without removing it. Only served on
+    /// the optimized path (the reference path predates it and must stay
+    /// byte-for-byte the original implementation); callers treat `None`
+    /// as "fast paths unavailable".
+    #[inline]
+    pub fn peek(&self) -> Option<(Time, &EventKind)> {
+        match &self.imp {
+            QueueImpl::Packed(h) => h.peek().map(|(k, kind)| (unpack_time(*k), kind)),
+            QueueImpl::Reference(_) => None,
+        }
+    }
+
+    /// The time of the earliest pending event *excluding* the head, on
+    /// the optimized path. `None` when fewer than two events are pending
+    /// or on the reference path. Used by the engine's idle-period
+    /// fast-forward to bound how far a tick chain can be batched.
+    #[inline]
+    pub fn second_time(&self) -> Option<Time> {
+        match &self.imp {
+            QueueImpl::Packed(h) => h.second_key().map(unpack_time),
+            QueueImpl::Reference(_) => None,
+        }
+    }
+
+    /// Burn `n` sequence numbers without pushing. The idle-period
+    /// fast-forward uses this so a batched tick chain leaves the seq
+    /// counter — and therefore every future FIFO tie-break — exactly
+    /// where the unbatched pop/push loop would have left it.
+    #[inline]
+    pub fn bump_seq(&mut self, n: u64) {
+        self.seq += n;
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            QueueImpl::Packed(h) => h.entries.len(),
+            QueueImpl::Reference(h) => h.len(),
+        }
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -140,41 +331,107 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue; 2] {
+        [EventQueue::new(), EventQueue::new_reference()]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(30, EventKind::LoadBalance);
-        q.push(10, EventKind::FreqSample);
-        q.push(20, EventKind::LoadBalance);
-        assert_eq!(q.pop().unwrap().0, 10);
-        assert_eq!(q.pop().unwrap().0, 20);
-        assert_eq!(q.pop().unwrap().0, 30);
-        assert!(q.pop().is_none());
+        for mut q in both() {
+            q.push(30, EventKind::LoadBalance);
+            q.push(10, EventKind::FreqSample);
+            q.push(20, EventKind::LoadBalance);
+            assert_eq!(q.pop().unwrap().0, 10);
+            assert_eq!(q.pop().unwrap().0, 20);
+            assert_eq!(q.pop().unwrap().0, 30);
+            assert!(q.pop().is_none());
+        }
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        q.push(5, EventKind::CpuBoundary { cpu: 1, token: 0 });
-        q.push(5, EventKind::CpuBoundary { cpu: 2, token: 0 });
-        q.push(5, EventKind::CpuBoundary { cpu: 3, token: 0 });
-        let order: Vec<usize> = (0..3)
-            .map(|_| match q.pop().unwrap().1 {
-                EventKind::CpuBoundary { cpu, .. } => cpu,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for mut q in both() {
+            q.push(5, EventKind::CpuBoundary { cpu: 1, token: 0 });
+            q.push(5, EventKind::CpuBoundary { cpu: 2, token: 0 });
+            q.push(5, EventKind::CpuBoundary { cpu: 3, token: 0 });
+            let order: Vec<usize> = (0..3)
+                .map(|_| match q.pop().unwrap().1 {
+                    EventKind::CpuBoundary { cpu, .. } => cpu,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        }
     }
 
     #[test]
     fn len_tracks_contents() {
+        for mut q in both() {
+            assert!(q.is_empty());
+            q.push(1, EventKind::LoadBalance);
+            q.push(2, EventKind::LoadBalance);
+            assert_eq!(q.len(), 2);
+            q.pop();
+            assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
+    fn peek_and_second_time_on_packed() {
         let mut q = EventQueue::new();
-        assert!(q.is_empty());
+        assert!(q.peek().is_none());
+        assert!(q.second_time().is_none());
+        q.push(40, EventKind::LoadBalance);
+        assert_eq!(q.peek().unwrap().0, 40);
+        assert!(q.second_time().is_none());
+        q.push(10, EventKind::FreqSample);
+        q.push(25, EventKind::LoadBalance);
+        assert_eq!(q.peek().unwrap().0, 10);
+        assert_eq!(q.second_time(), Some(25));
+        q.pop();
+        assert_eq!(q.peek().unwrap().0, 25);
+        assert_eq!(q.second_time(), Some(40));
+    }
+
+    #[test]
+    fn reference_declines_fast_path_queries() {
+        let mut q = EventQueue::new_reference();
         q.push(1, EventKind::LoadBalance);
         q.push(2, EventKind::LoadBalance);
-        assert_eq!(q.len(), 2);
-        q.pop();
-        assert_eq!(q.len(), 1);
+        assert!(q.peek().is_none());
+        assert!(q.second_time().is_none());
+    }
+
+    #[test]
+    fn packed_and_reference_pop_identically() {
+        // Deterministic pseudo-random interleaving of pushes and pops.
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new_reference();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..5000 {
+            let r = step();
+            if r % 3 != 0 || a.is_empty() {
+                let t = (step() % 64) as Time;
+                let kind = EventKind::CpuBoundary {
+                    cpu: (step() % 8) as usize,
+                    token: step() % 4,
+                };
+                a.push(t, kind);
+                b.push(t, kind);
+            } else {
+                assert_eq!(a.pop(), b.pop());
+            }
+        }
+        while !a.is_empty() {
+            assert_eq!(a.pop(), b.pop());
+        }
+        assert_eq!(a.pop(), None);
+        assert_eq!(b.pop(), None);
     }
 }

@@ -301,6 +301,12 @@ pub struct BarrierObj {
     pub span_factor: f64,
     /// Effect counter: total per-thread arrivals across all rounds.
     pub arrivals: u64,
+    /// Recycled waiter storage: `release` hands the caller the waiter
+    /// list and installs this spare in its place, so a barrier executed
+    /// round after round re-uses two allocations instead of growing a
+    /// fresh `Vec` every round. Give drained lists back via
+    /// [`BarrierObj::recycle`].
+    spare: Vec<TaskId>,
 }
 
 impl BarrierObj {
@@ -314,6 +320,7 @@ impl BarrierObj {
             last_cpu: 0,
             span_factor,
             arrivals: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -328,9 +335,24 @@ impl BarrierObj {
     }
 
     /// Reset after a completed round, returning the waiter list.
+    ///
+    /// The returned `Vec` should come back through
+    /// [`BarrierObj::recycle`] once drained; until then the barrier runs
+    /// on its spare storage.
     pub fn release(&mut self) -> Vec<TaskId> {
         self.arrived = 0;
-        std::mem::take(&mut self.waiters)
+        let out = std::mem::take(&mut self.waiters);
+        self.waiters = std::mem::take(&mut self.spare);
+        out
+    }
+
+    /// Return a drained waiter list taken from [`BarrierObj::release`]
+    /// so the next round re-uses its capacity.
+    pub fn recycle(&mut self, mut v: Vec<TaskId>) {
+        v.clear();
+        if v.capacity() > self.spare.capacity() {
+            self.spare = v;
+        }
     }
 }
 
@@ -461,6 +483,10 @@ pub struct TaskPoolObj {
     pub spawned: u64,
     /// Effect counter: total tasks that ran to completion.
     pub executed: u64,
+    /// Recycled waiter storage (see [`BarrierObj::recycle`]): the drain
+    /// in [`TaskPoolObj::complete`] hands out the waiter list and runs
+    /// on this spare until the caller gives the list back.
+    spare: Vec<TaskId>,
 }
 
 impl TaskPoolObj {
@@ -477,6 +503,7 @@ impl TaskPoolObj {
             spawners,
             spawned: 0,
             executed: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -494,14 +521,29 @@ impl TaskPoolObj {
 
     /// One task finished. Returns the waiters to wake when the pool
     /// drained completely.
+    ///
+    /// A non-empty return should come back through
+    /// [`TaskPoolObj::recycle`] once drained (an empty one is
+    /// allocation-free and can simply be dropped).
     pub fn complete(&mut self) -> Vec<TaskId> {
         debug_assert!(self.outstanding > 0);
         self.outstanding -= 1;
         self.executed += 1;
         if self.outstanding == 0 {
-            std::mem::take(&mut self.waiters)
+            let out = std::mem::take(&mut self.waiters);
+            self.waiters = std::mem::take(&mut self.spare);
+            out
         } else {
             Vec::new()
+        }
+    }
+
+    /// Return a drained waiter list taken from [`TaskPoolObj::complete`]
+    /// so later task-waits re-use its capacity.
+    pub fn recycle(&mut self, mut v: Vec<TaskId>) {
+        v.clear();
+        if v.capacity() > self.spare.capacity() {
+            self.spare = v;
         }
     }
 }

@@ -154,6 +154,15 @@ impl Program {
         &self.ops
     }
 
+    /// Rewrite this program in place into the single op `Busy { ns }`,
+    /// re-using the op storage. This is the noise-task recycling fast
+    /// path: a freelisted kernel task gets its next burst without
+    /// allocating a fresh `Program`.
+    pub fn reset_to_busy(&mut self, ns: f64) {
+        self.ops.clear();
+        self.ops.push(Op::Busy { ns });
+    }
+
     /// Builder for ergonomic program construction.
     pub fn builder() -> ProgramBuilder {
         ProgramBuilder { ops: Vec::new() }
