@@ -42,6 +42,7 @@ pub const SPEC_DRIVEN: [&str; 12] = [
 fn families(experiment: &str) -> (bool, bool, bool, bool) {
     match experiment {
         "table2" | "chunks" | "campaign" => (false, true, false, false),
+        "variability" => (true, true, false, false),
         "fig1" | "ablation" => (true, false, false, false),
         "fig2" => (false, false, true, false),
         "fig3" | "fig4" | "fig5" => (true, true, true, false),

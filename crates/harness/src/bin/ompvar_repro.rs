@@ -32,7 +32,7 @@
 
 use ompvar_harness::{
     ablation, analyze_exp, campaign_exp, chunks, common, faults_exp, fig1, fig2, fig3, fig4, fig5,
-    fig67, fuzz_exp, table2, taskbench_exp, trace_exp, Check, ExpOptions, ExpReport,
+    fig67, fuzz_exp, table2, taskbench_exp, trace_exp, variability, Check, ExpOptions, ExpReport,
 };
 use ompvar_supervisor::{
     atomic_write, attempt_seed, create_shards, resolve_jobs, resume_shards, run_campaign,
@@ -42,9 +42,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
     "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "taskbench",
-    "chunks", "faults", "fuzz", "analyze", "trace", "campaign",
+    "chunks", "faults", "fuzz", "analyze", "trace", "campaign", "variability",
 ];
 
 /// Set by the SIGINT handler; polled between experiments so an
@@ -71,7 +71,7 @@ fn install_sigint_handler() {
 fn usage() -> ! {
     eprintln!(
         "usage: ompvar-repro [--fast] [--seed N] [--out DIR] [--fuzz-cases N] \
-         [--trace FILE] [--report-json FILE] [--resume DIR] [--max-retries N] \
+         [--trace FILE] [--attr] [--report-json FILE] [--resume DIR] [--max-retries N] \
          [--jobs N] [--unit-timeout SECS] [--stability-cov X] <{}|all>",
         EXPERIMENTS.join("|")
     );
@@ -96,6 +96,7 @@ fn run_one(name: &str, opts: &ExpOptions) -> ExpReport {
         "analyze" => analyze_exp::run(opts),
         "trace" => trace_exp::run(opts),
         "campaign" => campaign_exp::run(opts),
+        "variability" => variability::run(opts),
         // Names are validated before any experiment runs.
         other => unreachable!("unvalidated experiment name {other:?}"),
     }
@@ -190,6 +191,7 @@ fn main() -> ExitCode {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.trace_path = Some(v.into());
             }
+            "--attr" => opts.attr = true,
             "--report-json" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.report_json = Some(v.into());

@@ -156,6 +156,11 @@ pub struct ExpOptions {
     /// Per-unit wall-clock deadline enforced by the executor's watchdog
     /// (`--unit-timeout SECS`); `None` disables reaping.
     pub unit_timeout: Option<std::time::Duration>,
+    /// Enable the causal attribution ledger on the `trace` experiment's
+    /// simulated run (`--attr`): the exported Chrome trace gains the
+    /// per-source cumulative counter tracks. The `variability`
+    /// experiment always attributes, flag or not.
+    pub attr: bool,
 }
 
 impl Default for ExpOptions {
@@ -172,6 +177,7 @@ impl Default for ExpOptions {
             resume: None,
             jobs: 1,
             unit_timeout: None,
+            attr: false,
         }
     }
 }

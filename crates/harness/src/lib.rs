@@ -23,3 +23,4 @@ pub mod fuzz_exp;
 pub mod analyze_exp;
 pub mod trace_exp;
 pub mod campaign_exp;
+pub mod variability;

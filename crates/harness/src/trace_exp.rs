@@ -171,6 +171,7 @@ pub fn run(opts: &ExpOptions) -> ExpReport {
         .with_faults(storm)
         .with_time_limit(30 * SEC)
         .with_tracing(true)
+        .with_attribution(opts.attr)
         .run(&region, opts.seed);
     match sim {
         Ok(res) => {
@@ -218,7 +219,26 @@ pub fn run(opts: &ExpOptions) -> ExpReport {
                 .iter()
                 .map(|s| (s.time, s.core_ghz.clone()))
                 .collect();
-            let doc = chrome_trace(trace, &freq, "ompvar sim (Vera, numa0, noise storm)");
+            // With `--attr` the exported timeline gains the per-source
+            // cumulative attribution counter tracks; the span/instant
+            // events themselves are identical either way (attribution is
+            // observation-only).
+            let label = "ompvar sim (Vera, numa0, noise storm)";
+            let doc = match &res.attribution {
+                Some(attr) => ompvar_obs::chrome_trace_attr(trace, &freq, &attr.samples, label),
+                None => chrome_trace(trace, &freq, label),
+            };
+            if let Some(attr) = &res.attribution {
+                checks.push(Check::new(
+                    "attribution ledger recorded under --attr",
+                    !attr.samples.is_empty() && attr.threads.len() == THREADS,
+                    format!(
+                        "{} ledger sample(s), {} thread(s)",
+                        attr.samples.len(),
+                        attr.threads.len()
+                    ),
+                ));
+            }
             write_doc(&mut checks, "sim", &sim_path, &doc);
             tables.push(span_table(
                 "Trace: per-construct span latency percentiles, sim (Vera)",
@@ -288,6 +308,22 @@ mod tests {
         // The sim document carries the frequency counter track.
         let sim_doc = std::fs::read_to_string(out.join("t.json")).unwrap();
         assert!(sim_doc.contains("\"core_freq_ghz\""), "no counter track");
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn attr_flag_adds_counter_tracks() {
+        let out = std::env::temp_dir().join("ompvar_trace_exp_attr_test");
+        let opts = ExpOptions {
+            trace_path: Some(out.join("t.json")),
+            attr: true,
+            ..ExpOptions::fast()
+        };
+        let rep = run(&opts);
+        assert!(rep.all_passed(), "trace --attr checks failed:\n{}", rep.render());
+        let sim_doc = std::fs::read_to_string(out.join("t.json")).unwrap();
+        assert!(sim_doc.contains("\"attr_cum_ms\""), "no attribution counter track");
+        parse(&sim_doc).expect("valid chrome trace with attribution tracks");
         let _ = std::fs::remove_dir_all(&out);
     }
 

@@ -9,6 +9,7 @@
 //! Perfetto renders as per-core frequency lanes under the same timeline
 //! as the spans.
 
+use crate::attr::{AttrSample, AttrSource};
 use crate::event::{EventKind, Trace, CORE_UNKNOWN, THREAD_GLOBAL};
 use crate::json::escape;
 
@@ -54,6 +55,74 @@ pub fn chrome_trace(trace: &Trace, freq_ghz: &[(u64, Vec<f32>)], label: &str) ->
 pub fn chrome_trace_lanes(
     trace: &Trace,
     freq_ghz: &[(u64, Vec<f32>)],
+    label: &str,
+    lane_prefix: &str,
+) -> String {
+    chrome_trace_full(trace, freq_ghz, &[], label, lane_prefix)
+}
+
+/// [`chrome_trace`] plus per-source attribution counter tracks: each
+/// [`AttrSample`] becomes one multi-series `ph:"C"` sample
+/// (`attr_cum_ms`, one series per [`AttrSource`], cumulative
+/// milliseconds charged across all threads) so Perfetto renders "where
+/// did my time go" as stacked counter lanes under the span timeline.
+pub fn chrome_trace_attr(
+    trace: &Trace,
+    freq_ghz: &[(u64, Vec<f32>)],
+    attr_samples: &[AttrSample],
+    label: &str,
+) -> String {
+    chrome_trace_full(trace, freq_ghz, attr_samples, label, "omp thread")
+}
+
+/// The attribution counter events alone, as a comma-separated fragment
+/// of Chrome trace-event objects (no enclosing array) — for callers
+/// embedding the tracks into their own documents. Empty string when
+/// there are no samples.
+pub fn attr_counter_events(attr_samples: &[AttrSample]) -> String {
+    let mut out = String::new();
+    for (i, sample) in attr_samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&attr_counter_event(sample));
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn attr_counter_event(sample: &AttrSample) -> String {
+    let mut s = format!(
+        "{{\"name\":\"attr_cum_ms\",\"cat\":\"attr\",\"ph\":\"C\",\"ts\":{},\
+         \"pid\":0,\"tid\":0,\"args\":{{",
+        ts_us(sample.time_ns)
+    );
+    for (i, &src) in AttrSource::ALL.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\"{}\":{}",
+            src.name(),
+            fmt_f64(sample.total_by_source[i] / 1e6)
+        ));
+    }
+    s.push_str("}}");
+    s
+}
+
+fn chrome_trace_full(
+    trace: &Trace,
+    freq_ghz: &[(u64, Vec<f32>)],
+    attr_samples: &[AttrSample],
     label: &str,
     lane_prefix: &str,
 ) -> String {
@@ -137,6 +206,10 @@ pub fn chrome_trace_lanes(
         }
         s.push_str("}}");
         push(&mut out, s);
+    }
+
+    for sample in attr_samples {
+        push(&mut out, attr_counter_event(sample));
     }
 
     out.push_str("\n]}\n");
@@ -236,5 +309,41 @@ mod tests {
         let doc = chrome_trace(&Trace::default(), &[(0, vec![f32::NAN])], "x");
         parse(&doc).expect("still valid JSON");
         assert!(doc.contains("\"core0\":0"), "{doc}");
+    }
+
+    #[test]
+    fn attr_counter_tracks_are_valid_and_per_source() {
+        use crate::attr::{AttrSample, AttrSource, N_SOURCES};
+        let mut by = [0.0f64; N_SOURCES];
+        by[AttrSource::Preemption.index()] = 2_000_000.0; // 2 ms
+        let samples = vec![
+            AttrSample { time_ns: 0, total_by_source: [0.0; N_SOURCES] },
+            AttrSample { time_ns: 1_000_000, total_by_source: by },
+        ];
+        let doc = chrome_trace_attr(&demo_trace(), &[], &samples, "attr run");
+        let v = parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("attr_cum_ms"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        let args = counters[1].get("args").unwrap();
+        assert_eq!(args.get("preemption").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(args.get("sync_contention").and_then(Value::as_f64), Some(0.0));
+        // Every source appears as a series.
+        for s in AttrSource::ALL {
+            assert!(args.get(s.name()).is_some(), "{}", s.name());
+        }
+        // Reproducible, and the plain exporters are unchanged by the refactor.
+        assert_eq!(doc, chrome_trace_attr(&demo_trace(), &[], &samples, "attr run"));
+        assert_eq!(
+            chrome_trace(&demo_trace(), &[], "x"),
+            chrome_trace_full(&demo_trace(), &[], &[], "x", "omp thread")
+        );
+        // Fragment exporter emits the same events.
+        let frag = attr_counter_events(&samples);
+        assert!(frag.contains("\"attr_cum_ms\""));
+        assert!(attr_counter_events(&[]).is_empty());
     }
 }

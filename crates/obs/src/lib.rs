@@ -24,6 +24,14 @@
 //!   span recovery.
 //! * [`metrics`] — a log-bucketed [`LatencyHistogram`] and the
 //!   per-construct [`MetricsRegistry`] (p50/p95/p99/max).
+//! * [`attr`] — the causal time-attribution vocabulary: the typed
+//!   [`AttrSource`] ledger ([`RunAttribution`]) the sim engine charges
+//!   every preemption, migration, SMT co-run, DVFS droop, sync wait and
+//!   fault stall to, with a per-thread conservation invariant.
+//! * [`sketch`] — streaming mergeable statistics ([`QuantileSketch`],
+//!   [`VarAccum`]) whose integer merges are exactly associative and
+//!   commutative, so sharded campaigns aggregate byte-identically at
+//!   any worker count.
 //! * [`chrome`] — hand-rolled Chrome trace-event JSON export, loadable
 //!   in Perfetto / `chrome://tracing`, with frequency samples exported
 //!   as counter tracks.
@@ -35,16 +43,20 @@
 //! produce structurally identical traces that all downstream tooling
 //! consumes uniformly.
 
+pub mod attr;
 pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod record;
+pub mod sketch;
 pub mod wellformed;
 
-pub use chrome::{chrome_trace, chrome_trace_lanes};
+pub use attr::{AttrSample, AttrSource, RunAttribution, ThreadAttribution, N_SOURCES};
+pub use chrome::{attr_counter_events, chrome_trace, chrome_trace_attr, chrome_trace_lanes};
 pub use event::{
     EventKind, InstantKind, Span, SpanKind, Trace, TraceEvent, CORE_UNKNOWN, THREAD_GLOBAL,
 };
 pub use metrics::{LatencyHistogram, MetricsRegistry, SpanStats};
 pub use record::{NullSink, TeamRecorder, ThreadRecorder, TraceSink};
+pub use sketch::{QuantileSketch, VarAccum};

@@ -1,22 +1,19 @@
 //! Histogram-backed metrics: per-construct latency distributions.
 
 use crate::event::{SpanKind, Trace};
+use crate::sketch::{bucket_floor, bucket_of, N_BUCKETS};
 use crate::wellformed::pair_spans;
-
-/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two, i.e. a
-/// worst-case quantization error of 12.5%.
-const SUB_BITS: u32 = 3;
-const SUBS: u64 = 1 << SUB_BITS;
-/// 64 octaves × 8 sub-buckets (small values get exact buckets).
-const N_BUCKETS: usize = 64 * SUBS as usize;
 
 /// A log-bucketed latency histogram over `u64` nanoseconds.
 ///
-/// Constant memory (512 buckets), O(1) insert, ≤ 12.5% relative
-/// quantization error on interior percentiles; the recorded minimum and
-/// maximum are exact, and percentile results are clamped into
-/// `[min, max]` so single-sample and extreme queries are exact too.
-/// All counts saturate instead of wrapping.
+/// Constant memory (512 buckets), O(1) insert. Bucket scheme shared
+/// with [`crate::QuantileSketch`]: 8 sub-buckets per power of two, so a
+/// value `v` lands in a bucket whose floor is within `v/8` below it —
+/// interior percentiles carry **≤ 12.5% relative quantization error**
+/// (asserted by the `interior_percentiles_within_bucket_error` test).
+/// The recorded minimum and maximum are exact, and percentile results
+/// are clamped into `[min, max]` so single-sample and extreme queries
+/// are exact too. All counts saturate instead of wrapping.
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
@@ -28,28 +25,6 @@ pub struct LatencyHistogram {
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram { counts: vec![0; N_BUCKETS], count: 0, min: u64::MAX, max: 0 }
-    }
-}
-
-fn bucket_of(v: u64) -> usize {
-    if v < SUBS {
-        v as usize
-    } else {
-        let exp = 63 - v.leading_zeros() as u64;
-        (exp * SUBS + ((v >> (exp - SUB_BITS as u64)) & (SUBS - 1))) as usize
-    }
-}
-
-/// Lower bound of bucket `i` — the value reported for percentiles
-/// falling in it.
-fn bucket_floor(i: usize) -> u64 {
-    let i = i as u64;
-    if i < SUBS {
-        i
-    } else {
-        let exp = i / SUBS;
-        let sub = i % SUBS;
-        (1 << exp) | (sub << (exp - SUB_BITS as u64))
     }
 }
 
@@ -189,12 +164,24 @@ impl MetricsRegistry {
         })
     }
 
-    /// Summaries of every kind with at least one span, in display order.
+    /// Summaries of every kind with at least one span.
+    ///
+    /// Ordering is explicitly deterministic: entries appear sorted by
+    /// ascending [`SpanKind`] discriminant (the order of
+    /// [`SpanKind::ALL`]), independent of recording order. Report
+    /// byte-identity across runs and shards depends on this, so the
+    /// guarantee is part of the API contract and regression-tested
+    /// (`snapshot_order_is_discriminant_sorted`).
     pub fn snapshot(&self) -> Vec<(SpanKind, SpanStats)> {
-        SpanKind::ALL
+        let out: Vec<(SpanKind, SpanStats)> = SpanKind::ALL
             .iter()
             .filter_map(|&k| self.stats(k).map(|s| (k, s)))
-            .collect()
+            .collect();
+        debug_assert!(
+            out.windows(2).all(|w| w[0].0.index() < w[1].0.index()),
+            "snapshot must be sorted by SpanKind discriminant"
+        );
+        out
     }
 }
 
@@ -271,6 +258,25 @@ mod tests {
         h.record_n(99, 0);
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(50.0), None);
+    }
+
+    #[test]
+    fn snapshot_order_is_discriminant_sorted() {
+        // Record in *reverse* discriminant order: the snapshot must come
+        // back sorted by discriminant regardless.
+        let mut reg = MetricsRegistry::new();
+        for (i, &k) in SpanKind::ALL.iter().enumerate().rev() {
+            reg.record(k, 100 + i as u64);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), SpanKind::ALL.len());
+        let idx: Vec<usize> = snap.iter().map(|(k, _)| k.index()).collect();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(idx, sorted, "snapshot not discriminant-sorted");
+        // And it is stable across repeated calls (byte-identity driver).
+        let again: Vec<usize> = reg.snapshot().iter().map(|(k, _)| k.index()).collect();
+        assert_eq!(idx, again);
     }
 
     #[test]

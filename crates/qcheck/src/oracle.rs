@@ -50,7 +50,16 @@
 //!     success, and identical error values on failure
 //!     ([`check_engine_equivalence`]). This is the differential oracle
 //!     that lets every hot-path optimization land without weakening
-//!     the determinism contract.
+//!     the determinism contract;
+//! 12. **attribution conservation**: re-running the case with the causal
+//!     time-attribution ledger enabled ([`check_attribution`]) must (a)
+//!     leave the final virtual time bit-identical — attribution is pure
+//!     observation; (b) conserve time per thread (`useful + Σ attributed
+//!     ≤ wall`, non-negative entries); and (c) under the fuzz harness's
+//!     sterile pinned parameters charge *exactly* 0 ns to every noise
+//!     source — a sterile machine has no preemptions, migrations, SMT
+//!     siblings, frequency droop, ticks, stalls or noise-delayed
+//!     arrivals to pay for.
 
 use ompvar_rt::native::NativeRuntime;
 use ompvar_rt::region::RegionSpec;
@@ -226,6 +235,89 @@ pub fn check_engine_equivalence(region: &RegionSpec, seed: u64) -> Vec<String> {
     reasons
 }
 
+/// Attribution-conservation oracle (#12): re-run the case with the
+/// causal attribution ledger enabled and compare against the plain run.
+/// Checks, in order: bit-identical final virtual time (through `f64`
+/// bits — attribution must be pure observation), the ledger's presence
+/// with one entry per team thread, per-thread conservation
+/// ([`ompvar_obs::RunAttribution::check_conservation`]), and — because
+/// [`sim_runtime`] is sterile and pinned — exactly zero nanoseconds on
+/// every noise source. When the plain run fails, the attributed run must
+/// fail with the identical error value. Returns the violations (empty =
+/// passed).
+pub fn check_attribution(region: &RegionSpec, seed: u64) -> Vec<String> {
+    use ompvar_obs::AttrSource;
+    let mut reasons = Vec::new();
+    let plain = sim_runtime(region.n_threads).run(region, seed);
+    let attributed = sim_runtime(region.n_threads)
+        .with_attribution(true)
+        .run(region, seed);
+    match (plain, attributed) {
+        (Ok(p), Ok(a)) => {
+            if p.wall_us.to_bits() != a.wall_us.to_bits() {
+                reasons.push(format!(
+                    "attribution (oracle #12): enabling the ledger perturbed virtual \
+                     time: plain {} us vs attributed {} us",
+                    p.wall_us, a.wall_us
+                ));
+            }
+            let Some(attr) = &a.attribution else {
+                reasons.push(
+                    "attribution (oracle #12): run with attribution enabled returned \
+                     no ledger"
+                        .to_string(),
+                );
+                return reasons;
+            };
+            if attr.threads.len() != region.n_threads {
+                reasons.push(format!(
+                    "attribution (oracle #12): ledger has {} thread(s) for a \
+                     {}-thread team",
+                    attr.threads.len(),
+                    region.n_threads
+                ));
+            }
+            // Wall time in ns; the charge arithmetic accumulates f64
+            // rounding across every slice, so allow a small relative
+            // tolerance (the invariant itself is an inequality).
+            let wall_ns = a.wall_us * 1e3;
+            if let Err(e) = attr.check_conservation(wall_ns, 1e-6) {
+                reasons.push(format!(
+                    "attribution (oracle #12): conservation violated: {e}"
+                ));
+            }
+            for &src in AttrSource::ALL.iter().filter(|s| s.is_noise()) {
+                let t = attr.total(src);
+                if t != 0.0 {
+                    reasons.push(format!(
+                        "attribution (oracle #12): sterile pinned run charged \
+                         {t} ns to noise source `{}`",
+                        src.name()
+                    ));
+                }
+            }
+        }
+        (Err(p), Err(a)) => {
+            let (p, a) = (format!("{p:?}"), format!("{a:?}"));
+            if p != a {
+                reasons.push(format!(
+                    "attribution (oracle #12): runs fail differently with the \
+                     ledger on:\n    plain      {p}\n    attributed {a}"
+                ));
+            }
+        }
+        (Ok(_), Err(e)) => reasons.push(format!(
+            "attribution (oracle #12): attributed run failed where the plain run \
+             succeeded: {e}"
+        )),
+        (Err(e), Ok(_)) => reasons.push(format!(
+            "attribution (oracle #12): plain run failed where the attributed run \
+             succeeded: {e}"
+        )),
+    }
+    reasons
+}
+
 /// Run every oracle against `region` with the given seed. Returns the
 /// list of violations; an empty list means the case passed.
 pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
@@ -329,6 +421,11 @@ pub fn check_case(region: &RegionSpec, seed: u64) -> Vec<String> {
     // simulator paths must agree on every case — including the failing
     // ones, where the error values themselves are compared.
     reasons.extend(check_engine_equivalence(region, seed));
+
+    // Attribution conservation (oracle #12): the ledger never perturbs
+    // the run, always conserves time, and stays all-zero on noise
+    // sources under sterile parameters.
+    reasons.extend(check_attribution(region, seed));
 
     // Interval shape: same marker ids with the same repetition counts on
     // both backends (mark-interval well-nesting oracle).
@@ -509,6 +606,62 @@ mod tests {
             "straggler case stopped deadlocking (generator drift?)"
         );
         let reasons = check_engine_equivalence(&region, seed);
+        assert!(reasons.is_empty(), "{reasons:#?}");
+    }
+
+    #[test]
+    fn attribution_oracle_passes_and_ledger_is_meaningful() {
+        // A contended region: sync waits exist even on the sterile fuzz
+        // machine, so the oracle's sterile-zero requirement must hold
+        // while the *non-noise* side of the ledger is actually exercised
+        // (useful compute plus sync-contention/runtime-overhead charges).
+        let region = RegionSpec::new(
+            4,
+            vec![
+                Construct::Barrier,
+                Construct::Critical { body_us: 0.5 },
+                Construct::ParallelFor {
+                    schedule: Schedule::Static { chunk: 2 },
+                    total_iters: 8,
+                    body_us: 0.4,
+                    ordered_us: None,
+                    nowait: false,
+                },
+            ],
+        )
+        .expect("region is valid");
+        let reasons = check_attribution(&region, 42);
+        assert!(reasons.is_empty(), "{reasons:#?}");
+        // Re-run once more to inspect the ledger the oracle validated.
+        let r = sim_runtime(region.n_threads)
+            .with_attribution(true)
+            .run(&region, 42)
+            .expect("attributed run succeeds");
+        let attr = r.attribution.expect("ledger present");
+        assert!(attr.useful_total() > 0.0, "no useful compute recorded");
+        assert!(
+            attr.total(ompvar_obs::AttrSource::SyncContention) > 0.0,
+            "critical section + barrier produced no sync-contention charge"
+        );
+        assert_eq!(attr.noise_total(), 0.0);
+    }
+
+    #[test]
+    fn attribution_oracle_compares_error_values_too() {
+        // The known runtime-deadlock straggler: both the plain and the
+        // attributed run must fail with the identical deadlock value.
+        let cfg = crate::gen::GenConfig {
+            max_threads: 8,
+            max_block_len: 8,
+            max_depth: 3,
+            max_repeat: 8,
+            max_iters: 96,
+            max_body_us: 2.0,
+            max_tasks: 6,
+        };
+        let seed = crate::case_seed(0x5EED_F00D, 264);
+        let region = crate::gen::generate(seed, &cfg);
+        let reasons = check_attribution(&region, seed);
         assert!(reasons.is_empty(), "{reasons:#?}");
     }
 

@@ -2,7 +2,7 @@
 //! the `OMP_PLACES` / `OMP_PROC_BIND` environment variables, and the
 //! result type shared by both backends.
 
-use ompvar_obs::{MetricsRegistry, SpanKind, SpanStats, Trace};
+use ompvar_obs::{MetricsRegistry, RunAttribution, SpanKind, SpanStats, Trace};
 use ompvar_sim::trace::{Counters, FreqSample, SemanticEffects};
 use ompvar_sim::task::TaskStats;
 use ompvar_topology::{Places, ProcBind};
@@ -70,6 +70,12 @@ pub struct RegionResult {
     /// tracing enabled. Export with `ompvar_obs::chrome_trace` or fold
     /// into percentiles with [`RegionResult::span_stats`].
     pub trace: Option<Trace>,
+    /// Causal time-attribution ledger: each thread's wall time charged to
+    /// typed sources (preemption, migration, SMT co-run, sub-nominal
+    /// frequency, sync wait, …) plus useful compute, with a per-thread
+    /// conservation invariant. `Some` iff the backend ran with
+    /// attribution enabled.
+    pub attribution: Option<RunAttribution>,
 }
 
 impl RegionResult {

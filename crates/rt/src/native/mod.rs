@@ -401,6 +401,9 @@ impl NativeRuntime {
             thread_stats: Vec::new(),
             effects,
             trace: tracing.then(|| team_trace.finish()),
+            // The native backend cannot see inside the host kernel; the
+            // causal ledger is a simulator-only capability.
+            attribution: None,
         })
     }
 }

@@ -63,6 +63,11 @@ pub struct SimRuntime {
     /// Tracing never perturbs virtual time: traced and untraced runs of
     /// the same seed are time-identical.
     pub tracing: bool,
+    /// Charge every nanosecond of each thread's wall time to a typed
+    /// cause ([`RegionResult::attribution`]). Like tracing, attribution
+    /// never perturbs virtual time: attributed and plain runs of the
+    /// same seed are time-identical.
+    pub attribution: bool,
     /// Route runs through the engine's *reference path*: the
     /// pre-optimization binary-heap event queue and naive topology
     /// lookups. Slower, independently implemented, and required to be
@@ -83,6 +88,7 @@ impl SimRuntime {
             time_limit: 3_000 * SEC,
             faults: FaultPlan::new(),
             tracing: false,
+            attribution: false,
             reference_engine: false,
         }
     }
@@ -114,6 +120,13 @@ impl SimRuntime {
     /// Enable or disable span tracing (see [`SimRuntime::tracing`]).
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enable or disable causal time attribution (see
+    /// [`SimRuntime::attribution`]).
+    pub fn with_attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
         self
     }
 
@@ -159,6 +172,7 @@ impl SimRuntime {
         let (sim, allocs, marker_pairs, master) = self.prepare(region, seed)?;
         let mut report = sim.run(self.time_limit).map_err(RtError::Sim)?;
         let trace = report.trace.take();
+        let attribution = report.attribution.take();
         let mut result = RegionResult {
             wall_us: report.final_time as f64 / 1e3,
             freq_samples: report.freq_samples.clone(),
@@ -166,6 +180,7 @@ impl SimRuntime {
             thread_stats: report.task_stats.iter().map(|&(_, s)| s).collect(),
             effects: harvest_effects(&allocs, &report),
             trace,
+            attribution,
             ..Default::default()
         };
         for k in marker_pairs {
@@ -250,6 +265,9 @@ impl SimRuntime {
         }
         if self.tracing {
             sim.enable_tracing();
+        }
+        if self.attribution {
+            sim.enable_attribution();
         }
         if self.reference_engine {
             sim.use_reference_engine();

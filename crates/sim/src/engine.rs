@@ -32,7 +32,10 @@ use crate::task::{
 use crate::time::{from_ns_f64, Time};
 use crate::trace::{Counters, FreqSample, MarkerRecord, ObjEffects, SimReport};
 use ompvar_obs::EventKind as TraceKind;
-use ompvar_obs::{InstantKind, SpanKind, Trace, TraceEvent, CORE_UNKNOWN, THREAD_GLOBAL};
+use ompvar_obs::{
+    AttrSample, AttrSource, InstantKind, RunAttribution, SpanKind, ThreadAttribution, Trace,
+    TraceEvent, CORE_UNKNOWN, N_SOURCES, THREAD_GLOBAL,
+};
 use ompvar_topology::{CoreId, HwThreadId, MachineSpec, Place};
 use std::collections::VecDeque;
 
@@ -87,6 +90,13 @@ struct Socket {
     active_cores: usize,
     /// Frequency currently applied to the socket's busy cores (GHz).
     applied_ghz: f64,
+    /// The *clean* frequency trajectory: what `applied_ghz` would be with
+    /// no droop pulses and no fault caps — the sustainable turbo bin for
+    /// the current activity level, updated with the same governor lag as
+    /// the applied frequency. Read only by the attribution ledger (the
+    /// reference against which [`AttrSource::SubNominalFreq`] time is
+    /// measured); never feeds back into timing.
+    clean_ghz: f64,
     /// Whether a droop pulse is currently in effect.
     pulse_active: bool,
     /// Token invalidating scheduled pulse events.
@@ -116,6 +126,56 @@ struct NoiseStream {
     cpu: Option<usize>,
     /// Dedicated random stream.
     rng: Rng,
+}
+
+/// Per-task causal-attribution state (user tasks only; kernel/noise
+/// tasks *are* the noise and get no ledger).
+#[derive(Debug, Default)]
+struct TaskAttr {
+    /// Wall nanoseconds charged to each [`AttrSource`], ledger order.
+    ledger: [f64; N_SOURCES],
+    /// Wall nanoseconds of useful program progress.
+    useful: f64,
+    /// Typed FIFO mirroring `Task::pending_overhead_ns`: each entry is
+    /// `(max-frequency ns, AttrSource index)`, pushed when the pot is
+    /// charged and drained in lockstep as `touch()` consumes the pot.
+    fifo: VecDeque<(f64, u8)>,
+    /// Wall ns of the current spin-wait episode (accrued by `touch()`).
+    wait_acc: f64,
+    /// `AttrState::noise_cum` at the start of the current wait episode.
+    noise_snap: f64,
+    /// When displaced off its CPU into a run queue: queue-entry time.
+    queued_from: Option<Time>,
+}
+
+/// Ledger state for one attributed run; `Some` iff attribution is on.
+///
+/// Attribution is observation-only: it draws no randomness, pushes no
+/// events, and mutates no engine state, so attributed and plain runs are
+/// virtual-time bit-identical (golden-suite + oracle #12 enforced).
+#[derive(Debug, Default)]
+struct AttrState {
+    /// Indexed by `TaskId`; sized to the pre-run task table, so kernel
+    /// tasks spawned later fall off the end and are ignored.
+    per_task: Vec<TaskAttr>,
+    /// Cumulative *primary* noise wall-ns charged to user tasks
+    /// (preemption, migration, SMT, sub-nominal frequency, ticks,
+    /// stalls — not the derived `NoiseDelayedArrival`). Wait episodes
+    /// snapshot this to decide how much of a wait noise can explain.
+    noise_cum: f64,
+    /// Running per-source totals across all threads (feeds `samples`).
+    totals: [f64; N_SOURCES],
+    /// Cumulative per-source samples, coalesced per virtual time.
+    samples: Vec<AttrSample>,
+}
+
+impl AttrState {
+    fn push_sample(&mut self, now: Time) {
+        match self.samples.last_mut() {
+            Some(s) if s.time_ns == now => s.total_by_source = self.totals,
+            _ => self.samples.push(AttrSample { time_ns: now, total_by_source: self.totals }),
+        }
+    }
 }
 
 /// Frequency-logger configuration.
@@ -171,6 +231,10 @@ pub struct Simulator {
     /// Span/instant event buffer; `Some` iff tracing is enabled. Virtual
     /// time is unaffected by tracing: recording costs nothing in-model.
     trace: Option<Vec<TraceEvent>>,
+    /// Causal time-attribution ledger; `Some` iff attribution is enabled.
+    /// Like tracing, strictly observational: virtual time is bit-identical
+    /// with attribution on or off.
+    attr: Option<AttrState>,
     /// Reference-engine mode: run on the pre-optimization event queue
     /// (plain `BinaryHeap`) and recompute every topology lookup through
     /// `MachineSpec` instead of the flat caches, with no tick
@@ -212,6 +276,7 @@ impl Simulator {
             .map(|s| Socket {
                 active_cores: 0,
                 applied_ghz: machine.clock.max_ghz,
+                clean_ghz: machine.clock.max_ghz,
                 pulse_active: false,
                 pulse_token: 0,
                 pulse_armed: false,
@@ -292,6 +357,7 @@ impl Simulator {
             lost_wakeups_armed: 0,
             event_budget: None,
             trace: None,
+            attr: None,
             machine,
             params,
             now: 0,
@@ -475,6 +541,274 @@ impl Simulator {
     }
 
     // ------------------------------------------------------------------
+    // Causal time attribution
+    //
+    // Every helper below is a no-op when `self.attr` is `None`, draws no
+    // randomness, pushes no events, and never mutates engine state, so an
+    // attributed run is virtual-time bit-identical to a plain run. Wall
+    // time of each user thread decomposes as
+    //
+    //     wall = useful + Σ ledger[src]      (conservation, oracle #12)
+    //
+    // with four charge channels:
+    //  * busy progress time, split by `attr_busy` into useful compute vs.
+    //    SMT co-run, sub-nominal frequency and memory contention;
+    //  * overhead-pot drain (`attr_drain_pot`): the typed FIFO mirrors
+    //    `pending_overhead_ns`, so each drained nanosecond keeps the
+    //    cause it was charged with (`attr_pot`);
+    //  * descheduled time (`queued_from` → Preemption) while the task
+    //    sits in a run queue or is displaced by a kernel task;
+    //  * spin-wait episodes, accrued in `touch()` and classified at the
+    //    closing wake (`attr_flush_wait`) into NoiseDelayedArrival (the
+    //    part explainable by primary noise charged elsewhere during the
+    //    episode) vs. plain SyncContention.
+    // ------------------------------------------------------------------
+
+    /// Turn on the causal attribution ledger. Like tracing, must be
+    /// enabled before `run()` and does not perturb virtual time.
+    pub fn enable_attribution(&mut self) {
+        assert!(!self.started, "attribution must be enabled before run()");
+        self.attr = Some(AttrState::default());
+    }
+
+    /// Is the attribution ledger active?
+    pub fn attribution_enabled(&self) -> bool {
+        self.attr.is_some()
+    }
+
+    /// Charge `wall_ns` of wall time on user task `tid` to `src`.
+    /// Kernel tasks (ids beyond the pre-run table) are ignored.
+    #[inline]
+    fn attr_charge(&mut self, tid: TaskId, wall_ns: f64, src: AttrSource) {
+        if wall_ns <= 0.0 {
+            return;
+        }
+        let now = self.now;
+        let Some(a) = &mut self.attr else { return };
+        let Some(pt) = a.per_task.get_mut(tid.0 as usize) else { return };
+        pt.ledger[src.index()] += wall_ns;
+        a.totals[src.index()] += wall_ns;
+        if src.is_noise() {
+            a.noise_cum += wall_ns;
+        }
+        a.push_sample(now);
+    }
+
+    /// Mirror a `pending_overhead_ns += nominal_ns` charge with its
+    /// cause; the FIFO is drained in lockstep as `touch()` consumes the
+    /// pot, so the eventual wall time keeps this source.
+    #[inline]
+    fn attr_pot(&mut self, tid: TaskId, nominal_ns: f64, src: AttrSource) {
+        if nominal_ns <= 0.0 {
+            return;
+        }
+        let Some(a) = &mut self.attr else { return };
+        let Some(pt) = a.per_task.get_mut(tid.0 as usize) else { return };
+        pt.fifo.push_back((nominal_ns, src.index() as u8));
+    }
+
+    /// Book the wall time of a pot drain: `used_nominal` max-frequency
+    /// nanoseconds were consumed at clock ratio `nrate`. FIFO entries are
+    /// popped/split to cover it; if the FIFO runs dry (a pot charge the
+    /// ledger missed) the remainder is booked as RuntimeOverhead so the
+    /// drain is always fully accounted. When `flush_rest` (pot reached
+    /// zero), leftover FIFO entries are dropped uncharged — the engine
+    /// zero-clamps sub-nanosecond residue the same way.
+    fn attr_drain_pot(&mut self, tid: TaskId, used_nominal: f64, nrate: f64, flush_rest: bool) {
+        if used_nominal <= 0.0 || self.attr.is_none() {
+            return;
+        }
+        let now = self.now;
+        let Some(a) = &mut self.attr else { return };
+        let Some(pt) = a.per_task.get_mut(tid.0 as usize) else { return };
+        let mut left = used_nominal;
+        let mut charged = [0.0f64; N_SOURCES];
+        while left > 1e-12 {
+            let Some((amt, src)) = pt.fifo.front_mut() else {
+                charged[AttrSource::RuntimeOverhead.index()] += left / nrate;
+                left = 0.0;
+                break;
+            };
+            let take = amt.min(left);
+            *amt -= take;
+            left -= take;
+            charged[*src as usize] += take / nrate;
+            if *amt <= 1e-12 {
+                pt.fifo.pop_front();
+            }
+        }
+        let _ = left;
+        if flush_rest {
+            pt.fifo.clear();
+        }
+        let mut any = false;
+        for (i, &w) in charged.iter().enumerate() {
+            if w > 0.0 {
+                pt.ledger[i] += w;
+                a.totals[i] += w;
+                if AttrSource::ALL[i].is_noise() {
+                    a.noise_cum += w;
+                }
+                any = true;
+            }
+        }
+        if any {
+            a.push_sample(now);
+        }
+    }
+
+    /// Accrue `wall_ns` of spin-wait time into the open wait episode.
+    #[inline]
+    fn attr_wait_accrue(&mut self, tid: TaskId, wall_ns: f64) {
+        if wall_ns <= 0.0 {
+            return;
+        }
+        let Some(a) = &mut self.attr else { return };
+        let Some(pt) = a.per_task.get_mut(tid.0 as usize) else { return };
+        pt.wait_acc += wall_ns;
+    }
+
+    /// Close the current wait episode of `tid` (if any): the part that
+    /// primary noise charged *during the episode* can explain is booked
+    /// as NoiseDelayedArrival (the waiter was stuck behind a noise-hit
+    /// peer); the remainder is plain SyncContention. Also re-snapshots
+    /// `noise_cum` so the next episode starts fresh. Called when a task
+    /// blocks (to open a clean snapshot) and when its wake completes.
+    fn attr_flush_wait(&mut self, tid: TaskId) {
+        let now = self.now;
+        let Some(a) = &mut self.attr else { return };
+        let noise_cum = a.noise_cum;
+        let Some(pt) = a.per_task.get_mut(tid.0 as usize) else { return };
+        let wait = pt.wait_acc;
+        pt.wait_acc = 0.0;
+        let noise_part = wait.min((noise_cum - pt.noise_snap).max(0.0));
+        pt.noise_snap = noise_cum;
+        if wait <= 0.0 {
+            return;
+        }
+        let sync_part = wait - noise_part;
+        pt.ledger[AttrSource::NoiseDelayedArrival.index()] += noise_part;
+        pt.ledger[AttrSource::SyncContention.index()] += sync_part;
+        a.totals[AttrSource::NoiseDelayedArrival.index()] += noise_part;
+        a.totals[AttrSource::SyncContention.index()] += sync_part;
+        a.push_sample(now);
+    }
+
+    /// Mark `tid` as displaced into a run queue at the current time (the
+    /// start of a descheduled interval; no-op if already marked).
+    #[inline]
+    fn attr_set_queued(&mut self, tid: TaskId) {
+        let now = self.now;
+        let Some(a) = &mut self.attr else { return };
+        let Some(pt) = a.per_task.get_mut(tid.0 as usize) else { return };
+        if pt.queued_from.is_none() {
+            pt.queued_from = Some(now);
+        }
+    }
+
+    /// Close a descheduled interval for `tid`: charge queue residence to
+    /// Preemption (displacement by kernel noise or quantum rotation is
+    /// what puts user tasks in queues).
+    #[inline]
+    fn attr_take_queued(&mut self, tid: TaskId) {
+        let now = self.now;
+        let queued = {
+            let Some(a) = &mut self.attr else { return };
+            let Some(pt) = a.per_task.get_mut(tid.0 as usize) else { return };
+            pt.queued_from.take()
+        };
+        if let Some(from) = queued {
+            self.attr_charge(tid, now.saturating_sub(from) as f64, AttrSource::Preemption);
+        }
+    }
+
+    /// Decompose `wall_ns` of busy progress on the installed micro-op
+    /// into useful compute vs. SMT co-run slowdown, sub-nominal-frequency
+    /// stretch (measured against the clean per-socket trajectory) and
+    /// memory-bandwidth contention, and book each part. The split is the
+    /// exact algebra of `rate()`: work done in `wall_ns` at the actual
+    /// rate would have taken proportionally less wall time at the clean
+    /// reference rate, and the difference is charged to each mechanism.
+    fn attr_busy(
+        &mut self,
+        tid: TaskId,
+        cpu: usize,
+        wall_ns: f64,
+        timed: &Timed,
+        home_numa: Option<usize>,
+    ) {
+        if wall_ns <= 0.0 || self.attr.is_none() {
+            return;
+        }
+        let ghz = self.ghz(cpu);
+        let max = self.machine.clock.max_ghz;
+        let clean = self.sockets[self.socket_of_cpu(cpu)].clean_ghz;
+        let mut smt_part = 0.0;
+        let mut mem_part = 0.0;
+        let freq_part;
+        match timed {
+            Timed::Cycles { class, .. } => {
+                let s = if self.sibling_busy(cpu) {
+                    self.params.smt.factor(*class)
+                } else {
+                    1.0
+                };
+                smt_part = wall_ns * (1.0 - s);
+                freq_part = (wall_ns * s * (1.0 - ghz / clean)).max(0.0);
+            }
+            Timed::Ns { .. } | Timed::AtomicNs { .. } => {
+                freq_part = (wall_ns * (1.0 - ghz / clean)).max(0.0);
+            }
+            Timed::Bytes { .. } => {
+                let home = home_numa.unwrap_or_else(|| self.numa_of_cpu(cpu));
+                let n_acc = self.domains[home].streamers.len().max(1);
+                let mem = &self.machine.memory;
+                let remote = if self.numa_of_cpu(cpu) != home {
+                    mem.remote_bw_factor
+                } else {
+                    1.0
+                };
+                let per_core = self.params.mem.per_core_bw_gbs;
+                let b = (mem.local_bw_gbs / n_acc as f64).min(per_core) * remote;
+                let b0 = mem.local_bw_gbs.min(per_core) * remote;
+                let s = self.params.mem.stream_freq_sensitivity;
+                let f = (1.0 - s) + s * ghz / max;
+                let f0 = (1.0 - s) + s * clean / max;
+                let bw_ratio = if b0 > 0.0 { b / b0 } else { 1.0 };
+                mem_part = wall_ns * (1.0 - bw_ratio);
+                freq_part = if f0 > 0.0 {
+                    (wall_ns * bw_ratio * (1.0 - f / f0)).max(0.0)
+                } else {
+                    0.0
+                };
+            }
+        }
+        let useful = (wall_ns - smt_part - freq_part - mem_part).max(0.0);
+        let now = self.now;
+        let Some(a) = &mut self.attr else { return };
+        let Some(pt) = a.per_task.get_mut(tid.0 as usize) else { return };
+        let mut any = false;
+        for (i, part) in [
+            (AttrSource::SmtCoRun.index(), smt_part),
+            (AttrSource::SubNominalFreq.index(), freq_part),
+            (AttrSource::MemContention.index(), mem_part),
+        ] {
+            if part > 0.0 {
+                pt.ledger[i] += part;
+                a.totals[i] += part;
+                if AttrSource::ALL[i].is_noise() {
+                    a.noise_cum += part;
+                }
+                any = true;
+            }
+        }
+        pt.useful += useful;
+        if any {
+            a.push_sample(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Rates and pricing
     // ------------------------------------------------------------------
 
@@ -588,12 +922,14 @@ impl Simulator {
         };
         if is_waiting {
             self.tasks[tid.0 as usize].stats.wait_time += elapsed;
+            self.attr_wait_accrue(tid, elapsed as f64);
             return;
         }
         let mut budget = elapsed as f64;
         // Pending overheads are denominated in max-frequency nanoseconds
         // and are consumed at the core's current clock ratio.
         let nrate = self.ghz(cpu) / self.machine.clock.max_ghz;
+        let (pot_used, pot_exhausted, pot_blocks);
         {
             let t = &mut self.tasks[tid.0 as usize];
             t.stats.busy_time += elapsed;
@@ -602,16 +938,40 @@ impl Simulator {
                 let used = t.pending_overhead_ns.min(consumable);
                 t.pending_overhead_ns -= used;
                 budget -= used / nrate;
+                pot_used = used;
                 if t.pending_overhead_ns > 1e-9 {
-                    return;
+                    pot_exhausted = false;
+                    pot_blocks = true;
+                } else {
+                    t.pending_overhead_ns = 0.0;
+                    pot_exhausted = true;
+                    pot_blocks = false;
                 }
-                t.pending_overhead_ns = 0.0;
+            } else {
+                pot_used = 0.0;
+                pot_exhausted = false;
+                pot_blocks = false;
             }
+        }
+        if self.attr.is_some() {
+            self.attr_drain_pot(tid, pot_used, nrate, pot_exhausted);
+        }
+        if pot_blocks {
+            return;
         }
         if budget <= 0.0 {
             return;
         }
-        let Some(cur) = current else { return };
+        let Some(cur) = current else {
+            // Wake tail: a just-woken spinner's interval books as busy
+            // time with nothing installed — it belongs to the wait
+            // episode the in-flight wake() is about to classify.
+            self.attr_wait_accrue(tid, budget);
+            return;
+        };
+        if self.attr.is_some() {
+            self.attr_busy(tid, cpu, budget, &cur, home);
+        }
         let rate = self.rate(cpu, &cur, home);
         let done = budget * rate;
         let t = &mut self.tasks[tid.0 as usize];
@@ -737,6 +1097,8 @@ impl Simulator {
             }
             if self.tasks[t.0 as usize].kind == TaskKind::User {
                 self.cpus[cpu].quantum_end = self.now + self.params.sched.quantum;
+                // Close any descheduled (queued) interval now ending.
+                self.attr_take_queued(t);
             }
         }
         let is_busy = self.cpus[cpu].running.is_some();
@@ -912,9 +1274,11 @@ impl Simulator {
                     if l.acquire(tid) {
                         let cost = self.params.sync.lock_ns * l.span_factor;
                         self.tasks[ti].pending_overhead_ns += cost;
+                        self.attr_pot(tid, cost, AttrSource::RuntimeOverhead);
                         let _ = cpu;
                     } else {
                         self.tasks[ti].state = TaskState::Waiting(WaitKind::Lock(obj));
+                        self.attr_flush_wait(tid); // open a fresh wait episode
                         return;
                     }
                 }
@@ -960,6 +1324,7 @@ impl Simulator {
                         l.ordered_waiters.push((iter, tid));
                         self.tasks[ti].state =
                             TaskState::Waiting(WaitKind::Ticket { obj, iter });
+                        self.attr_flush_wait(tid); // open a fresh wait episode
                         return;
                     }
                 }
@@ -992,6 +1357,7 @@ impl Simulator {
                         * p.span_factor;
                     p.spawn(body_cycles);
                     self.tasks[ti].pending_overhead_ns += cost;
+                    self.attr_pot(tid, cost, AttrSource::RuntimeOverhead);
                 }
                 MicroOp::TaskExecOrWait { obj } => {
                     let SyncObj::TaskPool(p) = &mut self.objs[obj.0 as usize] else {
@@ -1017,12 +1383,14 @@ impl Simulator {
                                 class: CorunClass::Latency,
                             }));
                             self.trace_task(tid, TraceKind::Begin(SpanKind::Task));
+                            self.attr_pot(tid, dispatch, AttrSource::RuntimeOverhead);
                         }
                         None => {
                             if p.outstanding > 0 {
                                 p.waiters.push(tid);
                                 self.tasks[ti].state =
                                     TaskState::Waiting(WaitKind::TaskPool(obj));
+                                self.attr_flush_wait(tid); // open a fresh wait episode
                                 return;
                             }
                             // Pool fully drained: proceed.
@@ -1067,7 +1435,9 @@ impl Simulator {
                             }));
                         }
                     } else {
-                        self.tasks[ti].pending_overhead_ns += self.params.sync.single_ns;
+                        let cost = self.params.sync.single_ns;
+                        self.tasks[ti].pending_overhead_ns += cost;
+                        self.attr_pot(tid, cost, AttrSource::RuntimeOverhead);
                         self.trace_task(tid, TraceKind::End(SpanKind::Single));
                     }
                 }
@@ -1287,6 +1657,7 @@ impl Simulator {
             let per_dist = self.params.sync.barrier_release_per_distance_ns;
             // The last arriver pays the base release cost itself.
             self.tasks[tid.0 as usize].pending_overhead_ns += base * span;
+            self.attr_pot(tid, base * span, AttrSource::RuntimeOverhead);
             self.trace_task(tid, TraceKind::End(SpanKind::Barrier));
             for &w in &waiters {
                 let wcpu = self.tasks[w.0 as usize].cpu;
@@ -1304,6 +1675,7 @@ impl Simulator {
         } else {
             b.waiters.push(tid);
             self.tasks[tid.0 as usize].state = TaskState::Waiting(WaitKind::Barrier(obj));
+            self.attr_flush_wait(tid); // open a fresh wait episode
             true
         }
     }
@@ -1337,6 +1709,7 @@ impl Simulator {
         }
         self.tasks[ti].state = TaskState::Runnable;
         self.tasks[ti].pending_overhead_ns += cost_ns;
+        self.attr_pot(tid, cost_ns, AttrSource::RuntimeOverhead);
         let cpu = self.tasks[ti].cpu;
         if self.tasks[ti].pin.is_none()
             && self.params.sched.wake_migrate_prob > 0.0
@@ -1363,6 +1736,8 @@ impl Simulator {
                     self.cpus[cpu].uq.remove(pos);
                     self.migrate(tid, cpu, target);
                 }
+                // The wake completed: classify the closed wait episode.
+                self.attr_flush_wait(tid);
                 return;
             }
         }
@@ -1371,6 +1746,9 @@ impl Simulator {
             self.commit(cpu);
         }
         // Otherwise the task is queued and resumes when next dispatched.
+        // Either way the wake completed: classify the closed wait episode
+        // (after touch() has folded the final spin interval into it).
+        self.attr_flush_wait(tid);
     }
 
     /// Completion of a contended atomic: release its slot.
@@ -1561,6 +1939,10 @@ impl Simulator {
                         self.tasks[r.0 as usize].stats.preemptions += 1;
                         self.counters.preemptions += 1;
                         self.trace_task(r, TraceKind::Instant(InstantKind::NoisePreemption));
+                        // The refill penalty and the queue residence until
+                        // the victim resumes are both preemption noise.
+                        self.attr_pot(r, refill, AttrSource::Preemption);
+                        self.attr_set_queued(r);
                         self.cpus[cpu].kq.push_back(tid);
                         self.commit(cpu);
                     }
@@ -1578,6 +1960,7 @@ impl Simulator {
             TaskKind::User => {
                 if self.cpus[cpu].running.is_none() && self.cpus[cpu].kq.is_empty() {
                     self.cpus[cpu].uq.push_back(tid);
+                    self.attr_set_queued(tid); // usually closed immediately by commit
                     self.commit(cpu);
                 } else {
                     // Refresh the current quantum if it already expired.
@@ -1585,6 +1968,7 @@ impl Simulator {
                         self.cpus[cpu].quantum_end = self.now + self.params.sched.quantum;
                     }
                     self.cpus[cpu].uq.push_back(tid);
+                    self.attr_set_queued(tid);
                     // The running task now has competition: reprice so the
                     // quantum boundary takes effect.
                     self.touch(cpu);
@@ -1726,6 +2110,7 @@ impl Simulator {
         t.pending_overhead_ns += penalty_ns;
         t.stats.migrations += 1;
         self.counters.migrations += 1;
+        self.attr_pot(tid, penalty_ns, AttrSource::Migration);
         self.enqueue(tid, to);
     }
 
@@ -1736,6 +2121,12 @@ impl Simulator {
     fn start(&mut self) {
         assert!(!self.started);
         self.started = true;
+        // Size the attribution table to the pre-run task table: every
+        // user task gets a ledger; kernel tasks spawned from here on get
+        // ids past the end and are ignored by the attr helpers.
+        if let Some(a) = &mut self.attr {
+            a.per_task = (0..self.tasks.len()).map(|_| TaskAttr::default()).collect();
+        }
         // Place and enqueue user tasks in spawn order.
         let users = self.user_tasks.clone();
         for tid in users {
@@ -1968,6 +2359,7 @@ impl Simulator {
             self.touch(cpu);
         }
         self.tasks[victim.0 as usize].pending_overhead_ns += stall_ns;
+        self.attr_pot(victim, stall_ns, AttrSource::FaultStall);
         if running_here {
             self.schedule_boundary(cpu);
         }
@@ -2114,6 +2506,7 @@ impl Simulator {
         if rotate {
             self.set_running(cpu, None);
             self.cpus[cpu].uq.push_back(tid);
+            self.attr_set_queued(tid);
         }
         self.commit(cpu);
     }
@@ -2127,8 +2520,9 @@ impl Simulator {
             let waiting = matches!(self.tasks[tid.0 as usize].state, TaskState::Waiting(_));
             if !waiting {
                 self.touch(cpu);
-                self.tasks[tid.0 as usize].pending_overhead_ns +=
-                    self.params.sched.tick_cost as f64;
+                let cost = self.params.sched.tick_cost as f64;
+                self.tasks[tid.0 as usize].pending_overhead_ns += cost;
+                self.attr_pot(tid, cost, AttrSource::TimerTick);
                 self.schedule_boundary(cpu);
             }
             self.queue.push(
@@ -2147,6 +2541,11 @@ impl Simulator {
         // headroom test — the spec is immutable in between, so the value
         // is the same one the two original calls produced.
         let sustainable = self.machine.clock.sustainable_ghz(active.max(1));
+        // Track the clean (pulse-free, cap-free) trajectory for the
+        // attribution ledger. Updated on every re-evaluation — the same
+        // governor lag as the applied frequency — and nowhere else, so it
+        // equals `applied_ghz` exactly whenever no pulse/cap is in force.
+        self.sockets[socket].clean_ghz = sustainable;
         let base_ghz = self.machine.clock.base_ghz;
         let all_core = self
             .machine
@@ -2449,6 +2848,7 @@ impl Simulator {
 
     /// Build the report for the current state (consuming markers/samples).
     fn make_report(&mut self) -> SimReport {
+        let attribution = self.harvest_attribution();
         SimReport {
             final_time: self.now,
             unfinished: self.users_remaining,
@@ -2462,7 +2862,64 @@ impl Simulator {
                 .collect(),
             obj_effects: self.objs.iter().map(obj_effects).collect(),
             trace: self.trace.take().map(Trace::new),
+            attribution,
         }
+    }
+
+    /// Harvest the attribution ledger into the report form (consuming it,
+    /// like the trace buffer). Open intervals — a task still spin-waiting
+    /// on its CPU, or still queued — are folded in read-only, so
+    /// harvesting a partial run (time limit, event budget) perturbs no
+    /// engine state.
+    fn harvest_attribution(&mut self) -> Option<RunAttribution> {
+        let mut a = self.attr.take()?;
+        // Spin time since the last touch of a still-waiting task has not
+        // been booked yet: fold it into the open episode.
+        for c in &self.cpus {
+            if let Some(tid) = c.running {
+                if matches!(self.tasks[tid.0 as usize].state, TaskState::Waiting(_)) {
+                    if let Some(pt) = a.per_task.get_mut(tid.0 as usize) {
+                        pt.wait_acc += self.now.saturating_sub(c.since) as f64;
+                    }
+                }
+            }
+        }
+        let noise_cum = a.noise_cum;
+        let mut tail = [0.0f64; N_SOURCES];
+        let mut threads: Vec<ThreadAttribution> = Vec::with_capacity(self.user_tasks.len());
+        for &tid in &self.user_tasks {
+            let rank = self.tasks[tid.0 as usize].rank;
+            let Some(pt) = a.per_task.get_mut(tid.0 as usize) else { continue };
+            // Final-classify the open wait episode, if any.
+            let wait = std::mem::take(&mut pt.wait_acc);
+            if wait > 0.0 {
+                let noise_part = wait.min((noise_cum - pt.noise_snap).max(0.0));
+                pt.ledger[AttrSource::NoiseDelayedArrival.index()] += noise_part;
+                pt.ledger[AttrSource::SyncContention.index()] += wait - noise_part;
+                tail[AttrSource::NoiseDelayedArrival.index()] += noise_part;
+                tail[AttrSource::SyncContention.index()] += wait - noise_part;
+            }
+            // Close an open descheduled interval.
+            if let Some(from) = pt.queued_from.take() {
+                let q = self.now.saturating_sub(from) as f64;
+                pt.ledger[AttrSource::Preemption.index()] += q;
+                tail[AttrSource::Preemption.index()] += q;
+            }
+            let mut th = ThreadAttribution::new(rank);
+            th.useful_ns = pt.useful;
+            th.by_source = pt.ledger;
+            threads.push(th);
+        }
+        if tail.iter().any(|&w| w > 0.0) {
+            for (i, &w) in tail.iter().enumerate() {
+                a.totals[i] += w;
+            }
+            a.push_sample(self.now);
+        }
+        Some(RunAttribution {
+            threads,
+            samples: std::mem::take(&mut a.samples),
+        })
     }
 
     /// Classify a tripped time limit: if every unfinished user task is

@@ -2,7 +2,7 @@
 
 use crate::task::{TaskId, TaskStats};
 use crate::time::Time;
-use ompvar_obs::Trace;
+use ompvar_obs::{RunAttribution, Trace};
 
 /// One timestamped marker emitted by a task's `Mark` op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,7 +134,7 @@ pub enum ObjEffects {
 }
 
 /// Everything the simulator reports after a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct SimReport {
     /// Virtual time when the last user task finished.
     pub final_time: Time,
@@ -156,6 +156,32 @@ pub struct SimReport {
     /// Construct span/instant timeline; `Some` iff tracing was enabled
     /// via [`crate::engine::Simulator::enable_tracing`].
     pub trace: Option<Trace>,
+    /// Causal time-attribution ledger; `Some` iff attribution was enabled
+    /// via [`crate::engine::Simulator::enable_attribution`].
+    pub attribution: Option<RunAttribution>,
+}
+
+/// Hand-written so the rendering with `attribution: None` is
+/// byte-identical to the pre-attribution derived output: the golden
+/// determinism digests hash `format!("{report:?}")`, and adding a trailing
+/// `attribution: None` field would have perturbed all of them. The field
+/// is only rendered when present.
+impl std::fmt::Debug for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("SimReport");
+        d.field("final_time", &self.final_time)
+            .field("unfinished", &self.unfinished)
+            .field("markers", &self.markers)
+            .field("freq_samples", &self.freq_samples)
+            .field("counters", &self.counters)
+            .field("task_stats", &self.task_stats)
+            .field("obj_effects", &self.obj_effects)
+            .field("trace", &self.trace);
+        if self.attribution.is_some() {
+            d.field("attribution", &self.attribution);
+        }
+        d.finish()
+    }
 }
 
 impl SimReport {

@@ -45,9 +45,16 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// the only thing between the two counter reads except `make_report`,
 /// whose cost is reps-independent).
 fn allocs_for(reps: u32) -> u64 {
+    allocs_for_mode(reps, false)
+}
+
+fn allocs_for_mode(reps: u32, attributed: bool) -> u64 {
     let machine = MachineSpec::generic(1, 4, 1);
     let n = 4;
     let mut sim = Simulator::new(machine, SimParams::sterile(), 7);
+    if attributed {
+        sim.enable_attribution();
+    }
     let barrier = sim.add_barrier(n, 1.0);
     let pool = sim.add_task_pool(1.0, n, n);
     for rank in 0..n {
@@ -93,6 +100,26 @@ fn steady_state_sync_cycles_do_not_allocate() {
 /// allocation delta above staying flat; here we also pin the absolute
 /// per-run numbers into the same ballpark so a gross regression in the
 /// setup path is noticed too.
+/// Attribution is observation-only in space as well as in virtual time:
+/// with the ledger *off* (the default), the attribution code contributes
+/// zero steady-state allocations — the delta bound above holds in a
+/// binary that carries the full attribution machinery, and a plain run
+/// allocates the same count before and after an attributed run of the
+/// identical workload (no global state leaks between modes). Attributed
+/// runs themselves may allocate in proportion to the ledger samples they
+/// record; that is the explicit, opt-in price of observation.
+#[test]
+fn attribution_off_leaves_hot_path_allocation_free() {
+    let _ = allocs_for(8);
+    let before = allocs_for(50);
+    let _ = allocs_for_mode(50, true);
+    let after = allocs_for(50);
+    assert_eq!(
+        before, after,
+        "an attributed run changed the unattributed path's allocation count"
+    );
+}
+
 #[test]
 fn run_allocation_count_is_modest() {
     let _ = allocs_for(8);

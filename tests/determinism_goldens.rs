@@ -269,6 +269,29 @@ fn corpus() -> Vec<Case> {
         seed: 0x5FAD,
     });
 
+    // Attribution-enabled cases: the causal ledger rides along on noisy
+    // runs (a noise-storm-battered dardel, a stall-flaky vera) and its
+    // contents are part of the digested surface. Paired with the
+    // attribution-off corpus above, these pin both halves of the
+    // tracing-style invariant: attribution off → reports byte-identical
+    // to history; attribution on → the ledger itself is deterministic.
+    cases.push(Case {
+        name: "attr-noisy-dardel".into(),
+        rt: SimRuntime::new(MachineSpec::dardel(), RtConfig::unbound())
+            .with_faults(FaultPlan::new().noise_storm(2 * MS, 30 * MS, 200 * US, 50 * US, 1.1))
+            .with_attribution(true),
+        region: sched_region(16, 6),
+        seed: 0xA77B,
+    });
+    cases.push(Case {
+        name: "attr-flaky-vera".into(),
+        rt: SimRuntime::new(MachineSpec::vera(), RtConfig::unbound())
+            .with_faults(FaultPlan::new().task_stall(MS, Some(1), 4e6))
+            .with_attribution(true),
+        region: sched_region(8, 8),
+        seed: 0xA77C,
+    });
+
     // The straggler: a generator program whose lock-order inversion
     // deadlocks at runtime, grinding no-op LoadBalance chains to the
     // 300s limit. Digests the *error* (deadlock diagnostics), and pins
